@@ -1,0 +1,63 @@
+// Command cachesim runs a synthetic memory-access pattern through a
+// server's Table I cache hierarchy and reports the steady-state hit rates
+// and DRAM traffic — the substrate behind the PMU's L2/L3/memory counters.
+// Useful for inspecting how a workload's locality profile interacts with
+// each machine's cache geometry.
+//
+// Usage:
+//
+//	cachesim [-server Xeon-4870] [-ws 64MiB-bytes] [-seq 0.6] [-stride 8]
+//	         [-write 0.3] [-n 200000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerbench/internal/cache"
+	"powerbench/internal/rng"
+	"powerbench/internal/server"
+)
+
+func main() {
+	serverName := flag.String("server", "Xeon-4870", "server whose hierarchy to simulate")
+	ws := flag.Uint64("ws", 64<<20, "working set bytes")
+	seq := flag.Float64("seq", 0.6, "sequential access fraction [0,1]")
+	stride := flag.Uint64("stride", 8, "sequential stride bytes")
+	write := flag.Float64("write", 0.3, "store fraction [0,1]")
+	n := flag.Int("n", 200000, "measured accesses (after warm-up)")
+	flag.Parse()
+
+	spec, err := server.ByName(*serverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := cache.Pattern{
+		WorkingSetBytes: *ws,
+		SequentialFrac:  *seq,
+		StrideBytes:     *stride,
+		WriteFrac:       *write,
+	}
+	res, err := cache.Profile(p, *n, rng.DefaultSeed, spec.CacheHierarchy()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("server:      %s\n", spec.Name)
+	for _, cfg := range spec.CacheHierarchy() {
+		fmt.Printf("  %-4s %8d KiB, %d-way, %d B lines\n",
+			cfg.Name, cfg.SizeBytes>>10, cfg.Ways, cfg.LineBytes)
+	}
+	fmt.Printf("pattern:     ws=%d MiB seq=%.2f stride=%dB write=%.2f\n",
+		*ws>>20, *seq, *stride, *write)
+	fmt.Printf("L1 hit rate: %6.2f%%\n", res.L1HitRate*100)
+	fmt.Printf("L2 hit rate: %6.2f%%  (of L1 misses)\n", res.L2HitRate*100)
+	if len(spec.CacheHierarchy()) > 2 {
+		fmt.Printf("L3 hit rate: %6.2f%%  (of L2 misses)\n", res.L3HitRate*100)
+	}
+	fmt.Printf("DRAM/access: %8.4f\n", res.MemPerAcc)
+	fmt.Printf("write share: %6.2f%%\n", res.WriteShare*100)
+}

@@ -1,0 +1,77 @@
+// Command hplrun executes the native High-Performance Linpack solver, with
+// an optional HPL.dat-style sweep file.
+//
+// Usage:
+//
+//	hplrun [-n 1000] [-nb 64] [-p 1] [-q 4]
+//	hplrun -dat sweep.txt
+//
+// The sweep file format is:
+//
+//	Ns: 500 1000
+//	NBs: 32 64
+//	Grids: 1x4 2x2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerbench/internal/hpl"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "problem size N")
+	nb := flag.Int("nb", 64, "block size NB")
+	p := flag.Int("p", 1, "process grid rows P")
+	q := flag.Int("q", 0, "process grid cols Q (0 = GOMAXPROCS/P heuristic: 4/P)")
+	dat := flag.String("dat", "", "HPL.dat-style sweep file")
+	flag.Parse()
+
+	var params []hpl.Params
+	if *dat != "" {
+		text, err := os.ReadFile(*dat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sweep, err := hpl.ParseDat(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		params = sweep.Expand()
+	} else {
+		qq := *q
+		if qq == 0 {
+			qq = 4 / *p
+			if qq < 1 {
+				qq = 1
+			}
+		}
+		params = []hpl.Params{{N: *n, NB: *nb, P: *p, Q: qq}}
+	}
+
+	fmt.Printf("%8s %5s %3s %3s %10s %10s %12s %s\n",
+		"N", "NB", "P", "Q", "Time(s)", "GFLOPS", "Residual", "Status")
+	failed := false
+	for _, prm := range params {
+		r, err := hpl.Run(prm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%+v: %v\n", prm, err)
+			failed = true
+			continue
+		}
+		status := "PASSED"
+		if !r.OK {
+			status = "FAILED"
+			failed = true
+		}
+		fmt.Printf("%8d %5d %3d %3d %10.3f %10.3f %12.3e %s\n",
+			prm.N, prm.NB, prm.P, prm.Q, r.Seconds, r.GFLOPS, r.Residual, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Command npbrun executes the native NPB kernels with verification, like
+// the reference suite's binaries.
+//
+// Usage:
+//
+//	npbrun [-class S] [-np 4] [bt cg ep ft is lu mg sp]
+//
+// Without program arguments it runs the whole suite. Classes S and W run
+// in seconds; A takes minutes for some programs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerbench/internal/npb"
+)
+
+func main() {
+	classFlag := flag.String("class", "S", "problem class (S, W, A, B, C)")
+	np := flag.Int("np", 1, "number of processes")
+	flag.Parse()
+
+	class, err := npb.ParseClass(*classFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	programs := flag.Args()
+	if len(programs) == 0 {
+		for _, p := range npb.Programs {
+			programs = append(programs, string(p))
+		}
+	}
+
+	failed := false
+	for _, name := range programs {
+		p := npb.Program(name)
+		if !npb.ValidProcs(p, *np) {
+			fmt.Printf("%-10s SKIP (invalid process count %d for %s)\n",
+				npb.RunName(p, class, *np), *np, p)
+			continue
+		}
+		r, err := npb.RunNative(p, class, *np)
+		if err != nil {
+			fmt.Printf("%-10s ERROR %v\n", npb.RunName(p, class, *np), err)
+			failed = true
+			continue
+		}
+		status := "VERIFIED"
+		if !r.Verified {
+			status = "FAILED"
+			failed = true
+		}
+		fmt.Printf("%-10s %-8s %8.3fs  %s\n", npb.RunName(p, class, *np), status, r.Seconds, r.Detail)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Command powerbench runs the paper's HPC-oriented power-evaluation method
+// on one or all of the standard servers and prints the Tables IV-VI style
+// results, optionally alongside the Green500 and SPECpower comparisons.
+//
+// Usage:
+//
+//	powerbench [-server name] [-compare] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerbench/internal/core"
+	"powerbench/internal/server"
+)
+
+func main() {
+	serverName := flag.String("server", "", "server to evaluate (Xeon-E5462, Opteron-8347, Xeon-4870); empty = all")
+	compare := flag.Bool("compare", false, "also run the Green500 and SPECpower comparisons")
+	seed := flag.Float64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var specs []*server.Spec
+	if *serverName == "" {
+		specs = server.All()
+	} else {
+		s, err := server.ByName(*serverName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = []*server.Spec{s}
+	}
+
+	tableNames := map[string]string{
+		"Xeon-E5462": "Table IV", "Opteron-8347": "Table V", "Xeon-4870": "Table VI",
+	}
+	for i, spec := range specs {
+		ev, err := core.Evaluate(spec, *seed+float64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		name := tableNames[spec.Name]
+		if name == "" {
+			name = "Evaluation"
+		}
+		fmt.Println(core.EvaluationTable(ev, name))
+		if paper, ok := core.PaperScores[spec.Name]; ok {
+			fmt.Printf("paper-printed score: %.4f (see EXPERIMENTS.md on the Xeon-E5462 figure)\n", paper)
+		}
+		fmt.Println()
+	}
+
+	if *compare {
+		c, err := core.Compare(specs, *seed+100)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Method comparison (§V-C3):")
+		for i, name := range c.Servers {
+			fmt.Printf("  %-14s ours=%.4f  green500=%.4f  specpower=%.1f\n",
+				name, c.Ours[i], c.Green500[i], c.SPECpower[i])
+		}
+		fmt.Printf("  ours ordering:      %v\n", core.Ranking(c.Servers, c.Ours))
+		fmt.Printf("  green500 ordering:  %v\n", core.Ranking(c.Servers, c.Green500))
+		fmt.Printf("  specpower ordering: %v\n", core.Ranking(c.Servers, c.SPECpower))
+	}
+}

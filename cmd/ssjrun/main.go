@@ -1,0 +1,69 @@
+// Command ssjrun runs the SPECpower-style workload: either the protocol
+// on a simulated server (calibration, graduated loads, ssj_ops/W score,
+// energy-proportionality metrics) or the native transaction engine's
+// throughput ladder on this machine.
+//
+// Usage:
+//
+//	ssjrun [-server Xeon-E5462]        # simulated protocol + score
+//	ssjrun -native [-workers 4] [-phase 500ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powerbench/internal/server"
+	"powerbench/internal/ssj"
+)
+
+func main() {
+	serverName := flag.String("server", "Xeon-E5462", "simulated server to run the protocol on")
+	native := flag.Bool("native", false, "run the native transaction engine ladder on this machine")
+	workers := flag.Int("workers", 4, "native mode: worker goroutines")
+	phase := flag.Duration("phase", 500*time.Millisecond, "native mode: duration per load level")
+	flag.Parse()
+
+	if *native {
+		fmt.Printf("Calibrating with %d workers (%v per phase)...\n", *workers, *phase)
+		ladder, err := ssj.NativeLadder(*workers, *phase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("Level   Achieved ssj_ops/s")
+		for _, p := range ladder {
+			fmt.Printf("%-6s  %.0f\n", p.Label, p.Ops)
+		}
+		return
+	}
+
+	spec, err := server.ByName(*serverName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := ssj.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("SPECpower-style run on %s\n", r.Server)
+	fmt.Println("Phase  Target  ssj_ops      Watts   Mem%")
+	for _, p := range r.Phases {
+		fmt.Printf("%-5s  %5.0f%%  %11.0f  %7.1f  %4.1f\n",
+			p.Label, p.TargetLoad*100, p.Ops, p.Watts, p.MemoryUsage)
+	}
+	fmt.Printf("active idle: %.1f W\n", r.ActiveIdleWatts)
+	fmt.Printf("score: %.1f ssj_ops/W\n\n", r.Score)
+
+	prop, err := ssj.Proportion(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("energy proportionality: EP=%.3f  dynamic range=%.3f  idle/peak=%.3f\n",
+		prop.EP, prop.DynamicRange, prop.IdlePowerFrac)
+}

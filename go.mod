@@ -1,0 +1,3 @@
+module powerbench
+
+go 1.22

@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SubComm is a communicator over a subset of a World's ranks, created by
+// Comm.Split — the runtime's MPI_Comm_split. HPL's 2-D algorithm lives on
+// these: each process row and each process column is a SubComm, panel
+// pivot searches reduce over a column communicator and panel broadcasts
+// fan out over row communicators.
+//
+// SubComm traffic flows through the parent world's channels, namespaced by
+// a split-unique tag offset so concurrent sub-communicators do not collide.
+type SubComm struct {
+	parent  *Comm
+	members []int // world ranks, ordered by (key, world rank)
+	myIdx   int   // this rank's position in members
+	tagBase int
+}
+
+// splitState coordinates one collective Split call across the world.
+type splitState struct {
+	mu      sync.Mutex
+	entries map[int][2]int // world rank -> (color, key)
+	seq     int
+}
+
+// Split partitions the calling world into sub-communicators: ranks passing
+// the same color form one SubComm, ordered by key (ties broken by world
+// rank). Split is collective — every rank of the world must call it the
+// same number of times. The returned communicator supports the same
+// point-to-point and collective operations as Comm, addressed by sub-rank.
+func (c *Comm) Split(color, key int) *SubComm {
+	w := c.world
+	w.splitMu.Lock()
+	if w.split == nil {
+		w.split = &splitState{entries: make(map[int][2]int)}
+	}
+	st := w.split
+	st.mu.Lock()
+	st.entries[c.rank] = [2]int{color, key}
+	st.mu.Unlock()
+	seq := st.seq
+	w.splitMu.Unlock()
+
+	// Wait for every rank to register, then read the table.
+	c.Barrier()
+
+	st.mu.Lock()
+	var members []int
+	for r, ck := range st.entries {
+		if ck[0] == color {
+			members = append(members, r)
+		}
+	}
+	myKey := [2]int{key, c.rank}
+	sort.Slice(members, func(i, j int) bool {
+		a := [2]int{st.entries[members[i]][1], members[i]}
+		b := [2]int{st.entries[members[j]][1], members[j]}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	st.mu.Unlock()
+
+	idx := -1
+	for i, r := range members {
+		if r == c.rank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("comm: rank missing from its own split")
+	}
+	_ = myKey
+
+	// A second barrier lets the last reader finish before any rank starts
+	// the next Split (which reuses the shared table).
+	c.Barrier()
+	w.splitMu.Lock()
+	if w.split == st && st.seq == seq {
+		st.seq++
+		// Reset for the next collective split; tag space advances so
+		// traffic from different splits cannot collide.
+		w.split = nil
+		w.splitGen++
+	}
+	gen := w.splitGen
+	w.splitMu.Unlock()
+
+	return &SubComm{
+		parent:  c,
+		members: members,
+		myIdx:   idx,
+		tagBase: 1_000_000 * (gen + 1000*(color+1)),
+	}
+}
+
+// Rank returns this rank's position within the sub-communicator.
+func (s *SubComm) Rank() int { return s.myIdx }
+
+// Size returns the sub-communicator's size.
+func (s *SubComm) Size() int { return len(s.members) }
+
+// WorldRank maps a sub-rank to its world rank.
+func (s *SubComm) WorldRank(subRank int) int { return s.members[subRank] }
+
+func (s *SubComm) tag(t int) int {
+	if t < 0 {
+		return -s.tagBase + t
+	}
+	return s.tagBase + t
+}
+
+// Send delivers data to sub-rank dst.
+func (s *SubComm) Send(dst, tag int, data any) {
+	s.parent.Send(s.members[dst], s.tag(tag), data)
+}
+
+// Recv receives from sub-rank src with the given tag.
+func (s *SubComm) Recv(src, tag int) any {
+	return s.parent.Recv(s.members[src], s.tag(tag))
+}
+
+// RecvFloat64s is Recv with a []float64 assertion.
+func (s *SubComm) RecvFloat64s(src, tag int) []float64 {
+	return s.Recv(src, tag).([]float64)
+}
+
+const (
+	subTagBcast = 9001 + iota
+	subTagReduce
+	subTagAllreduce
+	subTagBarrier
+)
+
+// Bcast distributes root's buf to every member; non-root members return
+// the received slice.
+func (s *SubComm) Bcast(root int, buf []float64) []float64 {
+	if s.Size() == 1 {
+		return buf
+	}
+	if s.myIdx == root {
+		for r := 0; r < s.Size(); r++ {
+			if r == root {
+				continue
+			}
+			s.Send(r, subTagBcast, append([]float64(nil), buf...))
+		}
+		return buf
+	}
+	return s.RecvFloat64s(root, subTagBcast)
+}
+
+// Allreduce combines contributions element-wise across the members.
+func (s *SubComm) Allreduce(contrib []float64, op Op) []float64 {
+	if s.Size() == 1 {
+		return append([]float64(nil), contrib...)
+	}
+	if s.myIdx != 0 {
+		s.Send(0, subTagReduce, append([]float64(nil), contrib...))
+		return s.RecvFloat64s(0, subTagAllreduce)
+	}
+	acc := append([]float64(nil), contrib...)
+	for r := 1; r < s.Size(); r++ {
+		applyOp(op, acc, s.RecvFloat64s(r, subTagReduce))
+	}
+	for r := 1; r < s.Size(); r++ {
+		s.Send(r, subTagAllreduce, append([]float64(nil), acc...))
+	}
+	return acc
+}
+
+// Barrier blocks until every member has entered it (flat tree through
+// sub-rank 0 over the parent's channels, so concurrent sub-communicators
+// never interfere).
+func (s *SubComm) Barrier() {
+	if s.Size() == 1 {
+		return
+	}
+	token := []float64{1}
+	if s.myIdx != 0 {
+		s.Send(0, subTagBarrier, token)
+		s.Recv(0, subTagBarrier)
+		return
+	}
+	for r := 1; r < s.Size(); r++ {
+		s.Recv(r, subTagBarrier)
+	}
+	for r := 1; r < s.Size(); r++ {
+		s.Send(r, subTagBarrier, token)
+	}
+}
+
+// String describes the sub-communicator for diagnostics.
+func (s *SubComm) String() string {
+	return fmt.Sprintf("subcomm(rank %d/%d of %v)", s.myIdx, s.Size(), s.members)
+}

@@ -1,0 +1,157 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSplitGrid(t *testing.T) {
+	// A 2×3 process grid: split by row and by column, as HPL does.
+	const p, q = 2, 3
+	w := NewWorld(p * q)
+	var mu sync.Mutex
+	rows := map[int][2]int{} // world rank -> (row sub-rank, row size)
+	cols := map[int][2]int{}
+	w.Run(func(c *Comm) {
+		myRow := c.Rank() / q
+		myCol := c.Rank() % q
+		rowComm := c.Split(myRow, myCol)
+		colComm := c.Split(myCol, myRow)
+		mu.Lock()
+		rows[c.Rank()] = [2]int{rowComm.Rank(), rowComm.Size()}
+		cols[c.Rank()] = [2]int{colComm.Rank(), colComm.Size()}
+		mu.Unlock()
+	})
+	for r := 0; r < p*q; r++ {
+		if rows[r] != [2]int{r % q, q} {
+			t.Errorf("rank %d row comm = %v, want {%d %d}", r, rows[r], r%q, q)
+		}
+		if cols[r] != [2]int{r / q, p} {
+			t.Errorf("rank %d col comm = %v, want {%d %d}", r, cols[r], r/q, p)
+		}
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	// Keys reverse the ordering within a color.
+	w := NewWorld(4)
+	var mu sync.Mutex
+	got := map[int]int{}
+	w.Run(func(c *Comm) {
+		sub := c.Split(0, -c.Rank())
+		mu.Lock()
+		got[c.Rank()] = sub.Rank()
+		mu.Unlock()
+	})
+	for r := 0; r < 4; r++ {
+		if got[r] != 3-r {
+			t.Errorf("rank %d sub-rank = %d, want %d", r, got[r], 3-r)
+		}
+	}
+}
+
+func TestSubCommPointToPoint(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub.Size() != 2 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		partner := 1 - sub.Rank()
+		sub.Send(partner, 5, []float64{float64(c.Rank())})
+		got := sub.RecvFloat64s(partner, 5)
+		want := float64(sub.WorldRank(partner))
+		if got[0] != want {
+			t.Errorf("rank %d got %v want %v", c.Rank(), got[0], want)
+		}
+	})
+}
+
+func TestSubCommBcastConcurrentColors(t *testing.T) {
+	// Two colors broadcasting simultaneously must not cross-talk.
+	const n = 6
+	w := NewWorld(n)
+	var mu sync.Mutex
+	results := map[int]float64{}
+	w.Run(func(c *Comm) {
+		color := c.Rank() % 2
+		sub := c.Split(color, c.Rank())
+		var buf []float64
+		if sub.Rank() == 0 {
+			buf = []float64{float64(100 + color)}
+		}
+		got := sub.Bcast(0, buf)
+		mu.Lock()
+		results[c.Rank()] = got[0]
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		if want := float64(100 + r%2); results[r] != want {
+			t.Errorf("rank %d bcast = %v, want %v", r, results[r], want)
+		}
+	}
+}
+
+func TestSubCommAllreduce(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	var mu sync.Mutex
+	sums := map[int]float64{}
+	w.Run(func(c *Comm) {
+		sub := c.Split(c.Rank()%3, c.Rank())
+		res := sub.Allreduce([]float64{float64(c.Rank())}, OpSum)
+		mu.Lock()
+		sums[c.Rank()] = res[0]
+		mu.Unlock()
+	})
+	// Colors: {0,3}, {1,4}, {2,5}: sums 3, 5, 7.
+	want := []float64{3, 5, 7, 3, 5, 7}
+	for r := 0; r < n; r++ {
+		if sums[r] != want[r] {
+			t.Errorf("rank %d allreduce = %v, want %v", r, sums[r], want[r])
+		}
+	}
+}
+
+func TestSubCommBarrier(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		for i := 0; i < 20; i++ {
+			sub.Barrier()
+		}
+	})
+}
+
+func TestSplitSequentialGenerations(t *testing.T) {
+	// Repeated splits must not collide (tag generations advance).
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		for gen := 0; gen < 3; gen++ {
+			sub := c.Split(c.Rank()%2, c.Rank())
+			res := sub.Allreduce([]float64{1}, OpSum)
+			if res[0] != 2 {
+				t.Errorf("gen %d: allreduce = %v", gen, res[0])
+			}
+		}
+	})
+}
+
+func TestSubCommSingleton(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		sub := c.Split(c.Rank(), 0) // every rank its own color
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			t.Errorf("singleton: %v", sub)
+		}
+		got := sub.Bcast(0, []float64{7})
+		if got[0] != 7 {
+			t.Errorf("singleton bcast = %v", got)
+		}
+		sub.Barrier()
+		if r := sub.Allreduce([]float64{3}, OpSum); r[0] != 3 {
+			t.Errorf("singleton allreduce = %v", r)
+		}
+	})
+}

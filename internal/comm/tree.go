@@ -1,0 +1,89 @@
+package comm
+
+// Tree-structured collectives: the flat Bcast/Reduce above cost O(P)
+// serialized sends at the root; the binomial-tree forms below finish in
+// ⌈log₂P⌉ rounds, which is what production MPI implementations do. They
+// are semantically identical to the flat forms (same values, reduction
+// order fixed by rank) and interchangeable; the kernels default to the
+// flat forms for determinism of message counts, and the benchmarks compare
+// the two.
+
+const (
+	tagTreeBcast = -201 - iota
+	tagTreeReduce
+)
+
+// BcastTree distributes root's buf to every rank along a binomial tree in
+// ⌈log₂P⌉ rounds. Non-root ranks return the received slice.
+func (c *Comm) BcastTree(root int, buf []float64) []float64 {
+	p := c.world.size
+	if p == 1 {
+		return buf
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (c.rank - root + p) % p
+	// Receive from the parent (clear the lowest set bit).
+	if vrank != 0 {
+		parent := vrank & (vrank - 1)
+		src := (parent + root) % p
+		buf = c.RecvFloat64s(src, tagTreeBcast)
+	}
+	// Forward to children: set each bit above the lowest set bit while the
+	// result stays in range.
+	lowest := vrank & -vrank
+	if vrank == 0 {
+		lowest = 1 << 30
+	}
+	for bit := 1; bit < p && bit < lowest; bit <<= 1 {
+		child := vrank | bit
+		if child == vrank || child >= p {
+			continue
+		}
+		dst := (child + root) % p
+		c.Send(dst, tagTreeBcast, append([]float64(nil), buf...))
+	}
+	return buf
+}
+
+// ReduceTree combines contributions element-wise at root along a binomial
+// tree. Only root's return value is meaningful. The combination order
+// differs from the flat Reduce (tree order instead of rank order), so
+// floating-point results may differ in the last bits — as they do between
+// real MPI algorithms.
+func (c *Comm) ReduceTree(root int, contrib []float64, op Op) []float64 {
+	p := c.world.size
+	acc := append([]float64(nil), contrib...)
+	if p == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + p) % p
+	// Receive from children (low bits first), then send to parent.
+	lowest := vrank & -vrank
+	if vrank == 0 {
+		lowest = 1 << 30
+	}
+	for bit := 1; bit < p && bit < lowest; bit <<= 1 {
+		child := vrank | bit
+		if child == vrank || child >= p {
+			continue
+		}
+		src := (child + root) % p
+		applyOp(op, acc, c.RecvFloat64s(src, tagTreeReduce))
+	}
+	if vrank != 0 {
+		parent := vrank & (vrank - 1)
+		dst := (parent + root) % p
+		c.Send(dst, tagTreeReduce, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllreduceTree is ReduceTree to rank 0 followed by BcastTree.
+func (c *Comm) AllreduceTree(contrib []float64, op Op) []float64 {
+	res := c.ReduceTree(0, contrib, op)
+	if c.rank != 0 {
+		res = nil
+	}
+	return c.BcastTree(0, res)
+}

@@ -1,0 +1,118 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBcastTreeAllSizesAllRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 11} {
+		for root := 0; root < n; root++ {
+			w := NewWorld(n)
+			var mu sync.Mutex
+			got := map[int]float64{}
+			w.Run(func(c *Comm) {
+				var buf []float64
+				if c.Rank() == root {
+					buf = []float64{42, float64(root)}
+				}
+				res := c.BcastTree(root, buf)
+				mu.Lock()
+				got[c.Rank()] = res[0] + res[1]
+				mu.Unlock()
+			})
+			for r := 0; r < n; r++ {
+				if got[r] != 42+float64(root) {
+					t.Fatalf("n=%d root=%d rank=%d got %v", n, root, r, got[r])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceTreeMatchesFlat(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 8} {
+		w := NewWorld(n)
+		var mu sync.Mutex
+		var flat, tree []float64
+		w.Run(func(c *Comm) {
+			contrib := []float64{float64(c.Rank() + 1), 1}
+			f := c.Reduce(0, contrib, OpSum)
+			tr := c.ReduceTree(0, contrib, OpSum)
+			if c.Rank() == 0 {
+				mu.Lock()
+				flat, tree = f, tr
+				mu.Unlock()
+			}
+		})
+		for i := range flat {
+			if math.Abs(flat[i]-tree[i]) > 1e-12 {
+				t.Errorf("n=%d: flat %v vs tree %v", n, flat, tree)
+			}
+		}
+	}
+}
+
+func TestAllreduceTreeMax(t *testing.T) {
+	const n = 7
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		res := c.AllreduceTree([]float64{float64(c.Rank())}, OpMax)
+		if res[0] != n-1 {
+			t.Errorf("rank %d: tree allreduce max = %v", c.Rank(), res[0])
+		}
+	})
+}
+
+// Property: tree and flat allreduce agree for random contributions.
+func TestPropertyTreeEqualsFlat(t *testing.T) {
+	f := func(sizeRaw uint8, seed int64) bool {
+		size := int(sizeRaw%8) + 1
+		contribs := make([][]float64, size)
+		v := float64(seed%89) / 3
+		for r := range contribs {
+			v = math.Mod(v*1.9+float64(r)+0.7, 11)
+			contribs[r] = []float64{v}
+		}
+		var mu sync.Mutex
+		ok := true
+		w := NewWorld(size)
+		w.Run(func(c *Comm) {
+			a := c.Allreduce(contribs[c.Rank()], OpSum)
+			b := c.AllreduceTree(contribs[c.Rank()], OpSum)
+			if math.Abs(a[0]-b[0]) > 1e-9 {
+				mu.Lock()
+				ok = false
+				mu.Unlock()
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBcastFlat16(b *testing.B) {
+	w := NewWorld(16)
+	buf := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *Comm) {
+			c.Bcast(0, buf)
+		})
+	}
+}
+
+func BenchmarkBcastTree16(b *testing.B) {
+	w := NewWorld(16)
+	buf := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *Comm) {
+			c.BcastTree(0, buf)
+		})
+	}
+}

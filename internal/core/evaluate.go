@@ -1,0 +1,281 @@
+// Package core implements the paper's primary contribution: the
+// HPC-oriented power-evaluation method of §V — HPL and NPB-EP measured in
+// five system states (idle, full/half CPU × full/half memory), the
+// WTViewer-style data-analysis pipeline (merge, window, trim 10%, average),
+// the PPW score, the Green500 and SPECpower comparison evaluators — and the
+// power-regression model of §VI (HPCC training, forward-stepwise fit, NPB
+// verification).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"powerbench/internal/hpl"
+	"powerbench/internal/meter"
+	"powerbench/internal/npb"
+	"powerbench/internal/server"
+	"powerbench/internal/sim"
+	"powerbench/internal/ssj"
+	"powerbench/internal/stats"
+	"powerbench/internal/workload"
+)
+
+// TrimFrac is the paper's analysis step 3: remove the initial 10% and the
+// final 10% of every program's power trace.
+const TrimFrac = 0.10
+
+// Row is one line of the paper's Tables IV-VI.
+type Row struct {
+	Program     string
+	GFLOPS      float64
+	Watts       float64
+	PPW         float64
+	MemoryBytes uint64
+	DurationSec float64
+}
+
+// Evaluation is the result of the full method on one server.
+type Evaluation struct {
+	Server string
+	Rows   []Row
+	// AvgGFLOPS and AvgWatts are the arithmetic means over all rows
+	// (including idle), as the paper's Average line reports.
+	AvgGFLOPS float64
+	AvgWatts  float64
+	// Score is the arithmetic mean of the per-row PPWs — step 6 of the
+	// §V-C2 procedure ("Calculate the arithmetic average for PPWs").
+	// Note: the paper's Table IV prints 0.639 for the Xeon-E5462 where its
+	// own per-row PPWs average to 0.0639; Tables V and VI are consistent
+	// with the mean. See EXPERIMENTS.md for the analysis.
+	Score float64
+}
+
+// AveragePower applies the paper's pipeline to one program window of a
+// merged meter log: extract by timestamps, drop 10% head and tail, average.
+func AveragePower(log []meter.Sample, start, end float64) float64 {
+	w := meter.Window(log, start, end)
+	return stats.TrimmedMean(meter.Watts(w), TrimFrac)
+}
+
+// AverageMemory applies the same trim/average to 1 s memory samples.
+func AverageMemory(samples []float64) float64 {
+	return stats.TrimmedMean(samples, TrimFrac)
+}
+
+// PlanStates returns the method's workload list for a server (Table III):
+// idle, then EP.C and HPL (half and full memory) at one/half/full cores.
+// For the three paper servers, the process counts are those of the
+// published Tables IV-VI (the Opteron table uses EP at 1/4/8).
+func PlanStates(spec *server.Spec) ([]workload.Model, error) {
+	refs := server.ReferencePoints(spec.Name)
+	var models []workload.Model
+	models = append(models, workload.Idle(120))
+
+	addEP := func(n int) error {
+		m, err := npb.NewModel(spec, npb.EP, npb.ClassC, n)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+		return nil
+	}
+	addHPL := func(n int, frac float64) error {
+		m, err := hpl.NewModel(spec, hpl.Options{Procs: n, MemFrac: frac})
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+		return nil
+	}
+
+	if refs != nil {
+		for _, r := range refs {
+			var err error
+			switch r.Program {
+			case "ep.C":
+				err = addEP(r.N)
+			case "HPL Mh":
+				err = addHPL(r.N, 0.5)
+			case "HPL Mf":
+				err = addHPL(r.N, 0.95)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return models, nil
+	}
+	// Custom server: the Table III prescription directly.
+	counts := []int{1, spec.HalfCores(), spec.Cores}
+	for _, n := range counts {
+		if n < 1 {
+			continue
+		}
+		if err := addEP(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, frac := range []float64{0.5, 0.95} {
+		for _, n := range counts {
+			if n < 1 {
+				continue
+			}
+			if err := addHPL(n, frac); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return models, nil
+}
+
+// Evaluate runs the complete method on a server: execute the plan on the
+// simulation engine (meter logging throughout), run the analysis pipeline
+// per program, and compute the PPW score.
+func Evaluate(spec *server.Spec, seed float64) (*Evaluation, error) {
+	models, err := PlanStates(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.New(spec, seed)
+	results, merged, err := engine.RunSequence(models, 30)
+	if err != nil {
+		return nil, err
+	}
+
+	ev := &Evaluation{Server: spec.Name}
+	var sumG, sumW, sumPPW float64
+	for _, r := range results {
+		watts := AveragePower(merged, r.Start, r.End)
+		row := Row{
+			Program:     r.Model.Name,
+			GFLOPS:      r.Model.GFLOPS,
+			Watts:       watts,
+			PPW:         workload.PPW(r.Model.GFLOPS, watts),
+			MemoryBytes: r.Model.MemoryBytes,
+			DurationSec: r.Model.DurationSec,
+		}
+		ev.Rows = append(ev.Rows, row)
+		sumG += row.GFLOPS
+		sumW += row.Watts
+		sumPPW += row.PPW
+	}
+	n := float64(len(ev.Rows))
+	ev.AvgGFLOPS = sumG / n
+	ev.AvgWatts = sumW / n
+	ev.Score = sumPPW / n
+	return ev, nil
+}
+
+// PaperScores are the final scores as printed in the paper's §V-C3
+// comparison (including the Xeon-E5462 figure that is 10× its own table's
+// mean PPW).
+var PaperScores = map[string]float64{
+	"Xeon-E5462": 0.639, "Opteron-8347": 0.0251, "Xeon-4870": 0.0975,
+}
+
+// Green500Result is the PPW-at-peak evaluation of §III-B.
+type Green500Result struct {
+	Server string
+	// Rmax is the maximal HPL performance (GFLOPS).
+	Rmax float64
+	// AvgWatts is the average system power during the Rmax run.
+	AvgWatts float64
+	// PPW is Rmax / AvgWatts (Eq. 1).
+	PPW float64
+}
+
+// Green500 runs the Green500 procedure on a server: launch the meter, run
+// HPL configured for peak performance (full cores, full memory), and
+// divide Rmax by the average power, ignoring the first and last samples.
+func Green500(spec *server.Spec, seed float64) (*Green500Result, error) {
+	m, err := hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.New(spec, seed)
+	run, err := engine.Run(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	watts := AveragePower(run.PowerLog, run.Start, run.End)
+	return &Green500Result{
+		Server:   spec.Name,
+		Rmax:     m.GFLOPS,
+		AvgWatts: watts,
+		PPW:      workload.PPW(m.GFLOPS, watts),
+	}, nil
+}
+
+// Comparison collects the three evaluation methods' scores for a set of
+// servers (§V-C3).
+type Comparison struct {
+	Servers   []string
+	Ours      []float64
+	Green500  []float64
+	SPECpower []float64
+}
+
+// Compare evaluates every server under all three methods.
+func Compare(specs []*server.Spec, seed float64) (*Comparison, error) {
+	c := &Comparison{}
+	for i, spec := range specs {
+		ev, err := Evaluate(spec, seed+float64(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
+		}
+		g, err := Green500(spec, seed+float64(i)+0.5)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := ssj.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		c.Servers = append(c.Servers, spec.Name)
+		c.Ours = append(c.Ours, ev.Score)
+		c.Green500 = append(c.Green500, g.PPW)
+		c.SPECpower = append(c.SPECpower, sp.Score)
+	}
+	return c, nil
+}
+
+// Ranking returns the server names ordered by descending score.
+func Ranking(names []string, scores []float64) []string {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < len(idx); i++ {
+		for j := i + 1; j < len(idx); j++ {
+			if scores[idx[j]] > scores[idx[i]] {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	out := make([]string, len(names))
+	for i, k := range idx {
+		out[i] = names[k]
+	}
+	return out
+}
+
+// EnergyKJ returns the energy of a row (Eq. 2), for the Fig. 11 analysis.
+func (r Row) EnergyKJ() float64 {
+	return workload.EnergyKJ(r.Watts, r.DurationSec)
+}
+
+// RowByName finds a row by program name.
+func (e *Evaluation) RowByName(name string) (Row, bool) {
+	for _, r := range e.Rows {
+		if r.Program == name {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// ScoreIsFinite guards against degenerate evaluations in callers.
+func (e *Evaluation) ScoreIsFinite() bool {
+	return !math.IsNaN(e.Score) && !math.IsInf(e.Score, 0)
+}

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// FuzzParseManifest checks the session-manifest parser never panics and
+// that accepted manifests round-trip.
+func FuzzParseManifest(f *testing.F) {
+	f.Add("server Xeon-E5462\nrun 0 120 Idle\nrun 150 214 ep.C.4\n")
+	f.Add("server x\n")
+	f.Add("run 0 1 ep\n")
+	f.Add("# comment only\n")
+	f.Add("server a b c\nrun 1.5 2.5 HPL P4 Mf\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseManifest([]byte(input))
+		if err != nil {
+			return
+		}
+		back, err := ParseManifest(s.MarshalManifest())
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if back.Server != s.Server || len(back.Entries) != len(s.Entries) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", back, s)
+		}
+		for _, e := range back.Entries {
+			if e.End < e.Start {
+				t.Fatalf("accepted inverted window %+v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden tests for the deterministic artifacts (no simulation involved):
+// any change to the specs, class tables or characterization registry that
+// alters the published tables is caught here.
+
+func TestGoldenTable1(t *testing.T) {
+	got := Table1().TSV()
+	for _, want := range []string{
+		"Processor Type\tXeon E5462\tOpteron 8347\tXeon E7-4870",
+		"CPU Frequency (MHz)\t2800\t1900\t2400",
+		"Core(s) Enabled\t4 cores, 1 chips, 4 cores/chip\t16 cores, 4 chips, 4 cores/chip\t40 cores, 4 chips, 10 cores/chip",
+		"Peak GFLOPS\t44.8\t121.6\t384.0",
+		"Memory\t8 GB DDR2\t32 GB DDR2\t128 GB DDR2",
+		"Idle Power (W)\t134.4\t311.5\t642.2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table I missing row %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestGoldenTable3(t *testing.T) {
+	got := Table3().TSV()
+	want := "Program\tNumber of Core\tMemory Usage\n" +
+		"Idle\t0\t0\n" +
+		"NPB-EP.C\t1/half/full\tC Scale\n" +
+		"HPL\t1/half/full\t50%, 90%-100%\n"
+	if got != want {
+		t.Errorf("Table III drifted:\n%s", got)
+	}
+}
+
+func TestGoldenFig8Memory(t *testing.T) {
+	s, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.TSV()
+	for _, want := range []string{
+		"ep.A.B.C.1\t28\t29\t30",       // EP: tiny, near-constant
+		"cg.A.B.C.1\t500\t2458\t10752", // CG: class C beyond the E5462's 8 GB
+		"ft.A.B.C.4\t410\t1659\t6605",  // FT: largest runnable footprint
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Fig 8 missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestGoldenCharacterization(t *testing.T) {
+	got := CharacterizationTable().TSV()
+	for _, want := range []string{
+		"HPL\t1.00\t1.00\t0.220\t0.25",
+		"EP\t0.55\t0.10\t0.008\t0.02",
+		"SP\t0.72\t0.70\t0.220\t0.65", // heaviest communication in the NPB
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("characterization table missing %q in:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"powerbench/internal/meter"
+	"powerbench/internal/npb"
+	"powerbench/internal/server"
+	"powerbench/internal/sim"
+	"powerbench/internal/workload"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	s := &Session{
+		Server: "Xeon-E5462",
+		Entries: []SessionEntry{
+			{Program: "Idle", Start: 0, End: 120},
+			{Program: "ep.C.4", Start: 150, End: 214},
+		},
+	}
+	data := s.MarshalManifest()
+	back, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Server != s.Server || len(back.Entries) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Entries[1].Program != "ep.C.4" || back.Entries[1].End != 214 {
+		t.Errorf("entry: %+v", back.Entries[1])
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	bad := []string{
+		"run 0 10 ep",           // no server
+		"server x\nrun 0 ep",    // short run line
+		"server x\nrun a b ep",  // bad numbers
+		"server x\nrun 10 0 ep", // inverted window
+		"server x\nbogus",
+		"server",
+	}
+	for _, s := range bad {
+		if _, err := ParseManifest([]byte(s)); err == nil {
+			t.Errorf("ParseManifest(%q) should fail", s)
+		}
+	}
+	// Comments and blank lines are fine.
+	good := "# session\nserver x\n\nrun 0 10 ep.C.4\n"
+	if _, err := ParseManifest([]byte(good)); err != nil {
+		t.Errorf("good manifest rejected: %v", err)
+	}
+}
+
+// TestAnalyzeSessionEndToEnd exercises the whole file interface: simulate
+// a session, serialize the power log as two split CSV files plus a
+// manifest, and check the file-based analysis agrees with the in-memory
+// pipeline.
+func TestAnalyzeSessionEndToEnd(t *testing.T) {
+	spec := server.XeonE5462()
+	engine := sim.New(spec, 21)
+	models := []workload.Model{workload.Idle(120)}
+	m, err := npb.NewModel(spec, npb.EP, npb.ClassC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models = append(models, m)
+	results, merged, err := engine.RunSequence(models, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the merged log in two files, deliberately out of order.
+	half := len(merged) / 2
+	csv1 := meter.MarshalCSV(merged[half:])
+	csv2 := meter.MarshalCSV(merged[:half])
+
+	session := &Session{Server: spec.Name}
+	for _, r := range results {
+		session.Entries = append(session.Entries, SessionEntry{
+			Program: r.Model.Name, Start: r.Start, End: r.End,
+		})
+	}
+
+	analyzed, err := AnalyzeSession(session.MarshalManifest(), 0, csv1, csv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analyzed) != 2 {
+		t.Fatalf("analyzed %d programs", len(analyzed))
+	}
+	for _, p := range analyzed {
+		var want float64
+		for _, r := range results {
+			if r.Model.Name == p.Program {
+				want = AveragePower(merged, r.Start, r.End)
+			}
+		}
+		if math.Abs(p.Watts-want) > 0.02 {
+			t.Errorf("%s: file pipeline %.3f W vs in-memory %.3f W", p.Program, p.Watts, want)
+		}
+		if p.Samples == 0 || p.Duration <= 0 {
+			t.Errorf("%s: incomplete result %+v", p.Program, p)
+		}
+	}
+}
+
+func TestAnalyzeSessionWithSkew(t *testing.T) {
+	spec := server.XeonE5462()
+	engine := sim.New(spec, 23)
+	engine.Meter.ClockSkewSec = 4.5 // logging PC ahead of the server
+	m, err := npb.NewModel(spec, npb.EP, npb.ClassC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := engine.Run(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := []byte("server Xeon-E5462\nrun 0 " + itoa(int(m.DurationSec)) + " ep.C.2\n")
+	// Without synchronization the early window catches part of the ramp.
+	withSkew, err := AnalyzeSession(manifest, 0, meter.MarshalCSV(run.PowerLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced, err := AnalyzeSession(manifest, 4.5, meter.MarshalCSV(run.PowerLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(synced[0].Watts-run.SteadyWatts) > 1.5 {
+		t.Errorf("synced analysis %.1f W vs steady %.1f W", synced[0].Watts, run.SteadyWatts)
+	}
+	if math.Abs(withSkew[0].Watts-run.SteadyWatts) < math.Abs(synced[0].Watts-run.SteadyWatts) {
+		t.Error("synchronization should improve the estimate")
+	}
+}
+
+func TestAnalyzeSessionErrors(t *testing.T) {
+	if _, err := AnalyzeSession([]byte("bogus"), 0); err == nil {
+		t.Error("bad manifest should error")
+	}
+	manifest := []byte("server x\nrun 0 10 ep\n")
+	if _, err := AnalyzeSession(manifest, 0, []byte("h\nnot-a-row\n")); err == nil {
+		t.Error("bad CSV should error")
+	}
+	if _, err := AnalyzeSession(manifest, 0, meter.MarshalCSV([]meter.Sample{{T: 100, Watts: 1}})); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestSessionManifestUnicodePrograms(t *testing.T) {
+	// Program labels with spaces ("HPL P4 Mf") must survive the format.
+	s := &Session{Server: "x", Entries: []SessionEntry{{Program: "HPL P4 Mf", Start: 1, End: 2}}}
+	back, err := ParseManifest(s.MarshalManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entries[0].Program != "HPL P4 Mf" {
+		t.Errorf("program = %q", back.Entries[0].Program)
+	}
+	if !strings.Contains(string(s.MarshalManifest()), "HPL P4 Mf") {
+		t.Error("manifest should contain the full label")
+	}
+}

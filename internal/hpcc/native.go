@@ -1,0 +1,399 @@
+package hpcc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"powerbench/internal/comm"
+	"powerbench/internal/fft"
+	"powerbench/internal/linalg"
+	"powerbench/internal/rng"
+)
+
+// DGEMMResult reports a native matrix-multiply run.
+type DGEMMResult struct {
+	N       int
+	Workers int
+	Seconds float64
+	GFLOPS  float64
+	MaxErr  float64
+	OK      bool
+}
+
+// RunDGEMM multiplies two random n×n matrices with the blocked parallel
+// kernel and validates a sample of entries against direct dot products.
+func RunDGEMM(n, workers int) (DGEMMResult, error) {
+	if n <= 0 {
+		return DGEMMResult{}, fmt.Errorf("hpcc: DGEMM n must be positive")
+	}
+	s := rng.NewStream(rng.DefaultSeed, rng.A)
+	a := linalg.NewMatrix(n, n)
+	a.FillRandom(s)
+	b := linalg.NewMatrix(n, n)
+	b.FillRandom(s)
+	c := linalg.NewMatrix(n, n)
+
+	start := time.Now()
+	linalg.GemmParallel(c, a, b, workers)
+	elapsed := time.Since(start).Seconds()
+
+	// Spot-check 32 entries.
+	check := rng.NewStream(42, rng.A)
+	var maxErr float64
+	for k := 0; k < 32; k++ {
+		i := int(check.Uint64n(uint64(n)))
+		j := int(check.Uint64n(uint64(n)))
+		var want float64
+		for t := 0; t < n; t++ {
+			want += a.At(i, t) * b.At(t, j)
+		}
+		if e := math.Abs(c.At(i, j) - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	return DGEMMResult{
+		N: n, Workers: workers, Seconds: elapsed,
+		GFLOPS: 2 * float64(n) * float64(n) * float64(n) / elapsed / 1e9,
+		MaxErr: maxErr, OK: maxErr < 1e-9*float64(n),
+	}, nil
+}
+
+// STREAMResult reports the four STREAM bandwidths in bytes/second.
+type STREAMResult struct {
+	Elements                int
+	Copy, Scale, Add, Triad float64
+	OK                      bool
+}
+
+// RunSTREAM runs the four STREAM kernels (Copy, Scale, Add, Triad) over
+// float64 arrays, split across workers, and validates the final values.
+func RunSTREAM(elements, workers int) (STREAMResult, error) {
+	if elements <= 0 {
+		return STREAMResult{}, fmt.Errorf("hpcc: STREAM needs positive length")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := make([]float64, elements)
+	b := make([]float64, elements)
+	c := make([]float64, elements)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+	}
+	const scalar = 3.0
+
+	parallel := func(f func(lo, hi int)) float64 {
+		start := time.Now()
+		var wg sync.WaitGroup
+		chunk := (elements + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > elements {
+				hi = elements
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				f(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return time.Since(start).Seconds()
+	}
+
+	bytesMoved := func(arrays int) float64 { return float64(arrays) * float64(elements) * 8 }
+
+	tCopy := parallel(func(lo, hi int) {
+		copy(c[lo:hi], a[lo:hi])
+	})
+	tScale := parallel(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b[i] = scalar * c[i]
+		}
+	})
+	tAdd := parallel(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+	tTriad := parallel(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = b[i] + scalar*c[i]
+		}
+	})
+
+	// After the sequence: c = a0 + scalar·a0... validate closed form:
+	// c = 1 + 3 = 4, a = b + 3c: b = 3·1 = 3, c = 1+3 = 4, a = 3 + 12 = 15.
+	ok := true
+	for _, i := range []int{0, elements / 2, elements - 1} {
+		if b[i] != 3 || c[i] != 4 || a[i] != 15 {
+			ok = false
+		}
+	}
+	return STREAMResult{
+		Elements: elements,
+		Copy:     bytesMoved(2) / tCopy,
+		Scale:    bytesMoved(2) / tScale,
+		Add:      bytesMoved(3) / tAdd,
+		Triad:    bytesMoved(3) / tTriad,
+		OK:       ok,
+	}, nil
+}
+
+// PTRANSResult reports a native parallel transpose run.
+type PTRANSResult struct {
+	N       int
+	Seconds float64
+	GBps    float64
+	OK      bool
+}
+
+// RunPTRANS computes A = Aᵀ + B on an n×n matrix with row-stripe workers,
+// the communication-heavy HPCC kernel, and verifies the identity exactly.
+func RunPTRANS(n, workers int) (PTRANSResult, error) {
+	if n <= 0 {
+		return PTRANSResult{}, fmt.Errorf("hpcc: PTRANS n must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := rng.NewStream(rng.DefaultSeed, rng.A)
+	a := linalg.NewMatrix(n, n)
+	a.FillRandom(s)
+	b := linalg.NewMatrix(n, n)
+	b.FillRandom(s)
+	orig := a.Clone()
+
+	start := time.Now()
+	at := a.Transpose()
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ar := a.Row(i)
+				tr := at.Row(i)
+				br := b.Row(i)
+				for j := range ar {
+					ar[j] = tr[j] + br[j]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	ok := true
+	for _, k := range []int{0, n / 3, n - 1} {
+		want := orig.At(n-1-k, k) + b.At(k, n-1-k)
+		if math.Abs(a.At(k, n-1-k)-want) > 1e-12 {
+			ok = false
+		}
+	}
+	bytes := 3 * float64(n) * float64(n) * 8
+	return PTRANSResult{N: n, Seconds: elapsed, GBps: bytes / elapsed / 1e9, OK: ok}, nil
+}
+
+// RAResult reports a native RandomAccess (GUPS) run.
+type RAResult struct {
+	TableSize int
+	Updates   int
+	Procs     int
+	Seconds   float64
+	GUPS      float64
+	OK        bool
+}
+
+// RunRandomAccess performs the GUPS kernel over procs ranks: each rank
+// generates pseudo-random 64-bit values, routes each update to the rank
+// owning that table segment through an all-to-all exchange (the MPI
+// algorithm), and XORs it in. Running the identical update stream twice
+// must restore the table to its initial state — XOR's involution is the
+// suite's exact verification.
+func RunRandomAccess(logSize, procs int) (RAResult, error) {
+	if logSize < 4 || logSize > 30 {
+		return RAResult{}, fmt.Errorf("hpcc: RandomAccess log size %d out of range", logSize)
+	}
+	if procs < 1 {
+		return RAResult{}, fmt.Errorf("hpcc: need at least one rank")
+	}
+	size := 1 << uint(logSize)
+	if size%procs != 0 {
+		return RAResult{}, fmt.Errorf("hpcc: table size %d not divisible by %d ranks", size, procs)
+	}
+	updates := 4 * size
+	perRankUpd := updates / procs
+	segment := size / procs
+
+	table := make([]uint64, size)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+
+	pass := func() {
+		w := comm.NewWorld(procs)
+		w.Run(func(cm *comm.Comm) {
+			rank := cm.Rank()
+			s := rng.NewStream(rng.DefaultSeed, rng.A)
+			s.SkipAhead(int64(rank) * int64(perRankUpd))
+			const batch = 1024
+			for done := 0; done < perRankUpd; done += batch {
+				n := batch
+				if perRankUpd-done < n {
+					n = perRankUpd - done
+				}
+				parts := make([][]int, procs)
+				for i := 0; i < n; i++ {
+					v := s.Uint64n(1 << 62)
+					idx := int(v & uint64(size-1))
+					parts[idx/segment] = append(parts[idx/segment], int(v))
+				}
+				recv := cm.AlltoallInts(parts)
+				for _, vals := range recv {
+					for _, v := range vals {
+						idx := uint64(v) & uint64(size-1)
+						table[idx] ^= uint64(v)
+					}
+				}
+				cm.Barrier()
+			}
+		})
+	}
+
+	start := time.Now()
+	pass()
+	elapsed := time.Since(start).Seconds()
+	pass() // identical stream again: XOR must cancel
+
+	ok := true
+	for i, v := range table {
+		if v != uint64(i) {
+			ok = false
+			break
+		}
+	}
+	return RAResult{
+		TableSize: size, Updates: updates, Procs: procs,
+		Seconds: elapsed, GUPS: float64(updates) / elapsed / 1e9, OK: ok,
+	}, nil
+}
+
+// FFTResult reports a native 1-D FFT run.
+type FFTResult struct {
+	N       int
+	Seconds float64
+	GFLOPS  float64
+	MaxErr  float64
+	OK      bool
+}
+
+// RunFFT1D transforms a random complex vector of power-of-two length n
+// forward and back, reporting the standard 5·n·log₂n flop rate for the
+// forward pass and the round-trip error.
+func RunFFT1D(n int) (FFTResult, error) {
+	if !fft.IsPowerOfTwo(n) {
+		return FFTResult{}, fmt.Errorf("hpcc: FFT length %d not a power of two", n)
+	}
+	s := rng.NewStream(rng.DefaultSeed, rng.A)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(s.Next()-0.5, s.Next()-0.5)
+	}
+	orig := append([]complex128(nil), x...)
+
+	start := time.Now()
+	fft.Forward(x)
+	elapsed := time.Since(start).Seconds()
+	fft.Inverse(x)
+
+	var maxErr float64
+	for i := range x {
+		re := math.Abs(real(x[i]) - real(orig[i]))
+		im := math.Abs(imag(x[i]) - imag(orig[i]))
+		if re > maxErr {
+			maxErr = re
+		}
+		if im > maxErr {
+			maxErr = im
+		}
+	}
+	flops := 5 * float64(n) * math.Log2(float64(n))
+	return FFTResult{
+		N: n, Seconds: elapsed, GFLOPS: flops / elapsed / 1e9,
+		MaxErr: maxErr, OK: maxErr < 1e-9,
+	}, nil
+}
+
+// BEffResult reports the communication probe.
+type BEffResult struct {
+	Procs        int
+	LatencyUsec  float64 // mean small-message ping-pong latency
+	BandwidthMBs float64 // large-message ring bandwidth per link
+}
+
+// RunBEff measures the message runtime's point-to-point latency (8-byte
+// ping-pong between rank pairs) and bandwidth (1 MiB ring shift), the role
+// b_eff plays in HPCC. procs must be even for the pairing.
+func RunBEff(procs int) (BEffResult, error) {
+	if procs < 2 || procs%2 != 0 {
+		return BEffResult{}, fmt.Errorf("hpcc: b_eff needs an even rank count ≥ 2")
+	}
+	const pingPongs = 2000
+	const ringBytes = 1 << 20
+	ringFloats := ringBytes / 8
+	var latency, bandwidth float64
+
+	w := comm.NewWorld(procs)
+	w.Run(func(cm *comm.Comm) {
+		rank := cm.Rank()
+		partner := rank ^ 1
+		small := []float64{1}
+		cm.Barrier()
+		start := time.Now()
+		for i := 0; i < pingPongs; i++ {
+			if rank%2 == 0 {
+				cm.Send(partner, i, small)
+				cm.Recv(partner, i)
+			} else {
+				cm.Recv(partner, i)
+				cm.Send(partner, i, small)
+			}
+		}
+		lat := time.Since(start).Seconds() / (2 * pingPongs) * 1e6
+		cm.Barrier()
+
+		big := make([]float64, ringFloats)
+		next := (rank + 1) % cm.Size()
+		prev := (rank - 1 + cm.Size()) % cm.Size()
+		start = time.Now()
+		const rounds = 8
+		for i := 0; i < rounds; i++ {
+			cm.Send(next, -1-i, big)
+			big = cm.RecvFloat64s(prev, -1-i)
+		}
+		bw := float64(rounds) * float64(ringBytes) / time.Since(start).Seconds() / 1e6
+		if rank == 0 {
+			latency, bandwidth = lat, bw
+		}
+		cm.Barrier()
+	})
+	return BEffResult{Procs: procs, LatencyUsec: latency, BandwidthMBs: bandwidth}, nil
+}

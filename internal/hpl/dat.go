@@ -1,0 +1,89 @@
+package hpl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sweep describes a set of native runs in the spirit of an HPL.dat input
+// file: lists of problem sizes, block sizes and process grids whose cross
+// product is executed in order.
+type Sweep struct {
+	Ns  []int
+	NBs []int
+	PQs [][2]int
+}
+
+// Expand returns the parameter cross product in HPL's loop order (grids
+// outermost, then N, then NB).
+func (s Sweep) Expand() []Params {
+	var out []Params
+	for _, pq := range s.PQs {
+		for _, n := range s.Ns {
+			for _, nb := range s.NBs {
+				out = append(out, Params{N: n, NB: nb, P: pq[0], Q: pq[1]})
+			}
+		}
+	}
+	return out
+}
+
+// ParseDat parses a minimal HPL.dat-style configuration: lines of the form
+//
+//	Ns: 1000 2000
+//	NBs: 32 64
+//	Grids: 1x4 2x2
+//
+// Blank lines and lines starting with '#' are ignored.
+func ParseDat(text string) (Sweep, error) {
+	var s Sweep
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return Sweep{}, fmt.Errorf("hpl: line %d: missing ':' in %q", lineNo+1, line)
+		}
+		fields := strings.Fields(rest)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "ns":
+			for _, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil || v <= 0 {
+					return Sweep{}, fmt.Errorf("hpl: line %d: bad N %q", lineNo+1, f)
+				}
+				s.Ns = append(s.Ns, v)
+			}
+		case "nbs":
+			for _, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil || v <= 0 {
+					return Sweep{}, fmt.Errorf("hpl: line %d: bad NB %q", lineNo+1, f)
+				}
+				s.NBs = append(s.NBs, v)
+			}
+		case "grids":
+			for _, f := range fields {
+				ps, qs, ok := strings.Cut(f, "x")
+				if !ok {
+					return Sweep{}, fmt.Errorf("hpl: line %d: bad grid %q (want PxQ)", lineNo+1, f)
+				}
+				p, err1 := strconv.Atoi(ps)
+				q, err2 := strconv.Atoi(qs)
+				if err1 != nil || err2 != nil || p <= 0 || q <= 0 {
+					return Sweep{}, fmt.Errorf("hpl: line %d: bad grid %q", lineNo+1, f)
+				}
+				s.PQs = append(s.PQs, [2]int{p, q})
+			}
+		default:
+			return Sweep{}, fmt.Errorf("hpl: line %d: unknown key %q", lineNo+1, key)
+		}
+	}
+	if len(s.Ns) == 0 || len(s.NBs) == 0 || len(s.PQs) == 0 {
+		return Sweep{}, fmt.Errorf("hpl: incomplete sweep (need Ns, NBs and Grids)")
+	}
+	return s, nil
+}

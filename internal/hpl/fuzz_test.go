@@ -1,0 +1,27 @@
+package hpl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDat checks the sweep-file parser never panics and that accepted
+// inputs expand to well-formed parameter sets.
+func FuzzParseDat(f *testing.F) {
+	f.Add("Ns: 1000\nNBs: 64\nGrids: 2x2\n")
+	f.Add("# comment\nNs: 1 2 3\nNBs: 8 16\nGrids: 1x1 1x2\n")
+	f.Add("Ns 1000")
+	f.Add("Grids: 0x0\nNs: 1\nNBs: 1")
+	f.Add(strings.Repeat("Ns: 1\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		sweep, err := ParseDat(input)
+		if err != nil {
+			return
+		}
+		for _, p := range sweep.Expand() {
+			if p.N <= 0 || p.NB <= 0 || p.P <= 0 || p.Q <= 0 {
+				t.Fatalf("accepted sweep expanded to invalid params %+v from %q", p, input)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package hpl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powerbench/internal/server"
+)
+
+// Property: model GFLOPS and duration are positive, and GFLOPS is
+// monotone in the process count up to the grid-aspect penalty — prime
+// process counts force lopsided P×Q grids and genuinely lose a few
+// percent (e.g. 37 processes on the Xeon-4870 runs a 1×37 grid and can
+// deliver slightly less than 36 on 6×6), so the check allows a 5% dip.
+func TestPropertyModelMonotoneInProcs(t *testing.T) {
+	specs := server.All()
+	f := func(fracRaw uint8) bool {
+		frac := 0.2 + 0.8*float64(fracRaw%100)/100
+		for _, s := range specs {
+			prev := 0.0
+			for n := 1; n <= s.Cores; n++ {
+				m, err := NewModel(s, Options{Procs: n, MemFrac: frac})
+				if err != nil {
+					return false
+				}
+				if m.GFLOPS <= 0 || m.DurationSec <= 0 {
+					return false
+				}
+				if m.GFLOPS < 0.95*prev {
+					return false
+				}
+				if m.GFLOPS > prev {
+					prev = m.GFLOPS
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NForMemFrac is monotone in the memory fraction and scales
+// with machine memory.
+func TestPropertyNForMemFracMonotone(t *testing.T) {
+	small := server.XeonE5462() // 8 GB
+	big := server.Xeon4870()    // 128 GB
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.05 + 0.95*float64(aRaw%100)/100
+		b := 0.05 + 0.95*float64(bRaw%100)/100
+		if a > b {
+			a, b = b, a
+		}
+		if NForMemFrac(small, a) > NForMemFrac(small, b) {
+			return false
+		}
+		return NForMemFrac(big, a) >= NForMemFrac(small, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: squarestGrid always returns a valid factorization with P ≤ Q,
+// as near square as any other factorization.
+func TestPropertySquarestGrid(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p, q := squarestGrid(n)
+		if p*q != n || p > q || p < 1 {
+			return false
+		}
+		// No better factorization exists: any divisor d ≤ √n has d ≤ p.
+		for d := 1; d*d <= n; d++ {
+			if n%d == 0 && d > p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: native runs at tiny sizes always validate (the solver is
+// backward stable on the generator's diagonally dominant matrices).
+func TestPropertyNativeRunsValidate(t *testing.T) {
+	f := func(nRaw, nbRaw uint8) bool {
+		n := int(nRaw%60) + 20
+		nb := int(nbRaw%24) + 4
+		if nb > n {
+			nb = n
+		}
+		r, err := Run(Params{N: n, NB: nb, P: 1, Q: 2})
+		return err == nil && r.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

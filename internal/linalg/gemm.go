@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Gemm computes C += A·B for row-major matrices using cache-blocked loops
+// (ikj order with a tile size chosen to keep the working set in L2). It is
+// the computational core of the HPCC DGEMM test and of the blocked LU
+// trailing update.
+func Gemm(c, a, b *Matrix) {
+	GemmBlocked(c, a, b, 64)
+}
+
+// GemmBlocked is Gemm with an explicit square tile size.
+func GemmBlocked(c, a, b *Matrix, tile int) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: Gemm dimension mismatch (%dx%d)·(%dx%d)→(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if tile <= 0 {
+		tile = 64
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for ii := 0; ii < n; ii += tile {
+		iMax := min(ii+tile, n)
+		for kk := 0; kk < k; kk += tile {
+			kMax := min(kk+tile, k)
+			for jj := 0; jj < m; jj += tile {
+				jMax := min(jj+tile, m)
+				gemmTile(c, a, b, ii, iMax, kk, kMax, jj, jMax)
+			}
+		}
+	}
+}
+
+func gemmTile(c, a, b *Matrix, i0, i1, k0, k1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := k0; k < k1; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := j0; j < j1; j++ {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// GemmParallel computes C += A·B splitting the rows of C across workers
+// goroutines (workers ≤ 0 means GOMAXPROCS). Rows are disjoint, so no
+// synchronization beyond the final join is required.
+func GemmParallel(c, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("linalg: GemmParallel dimension mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Rows {
+		workers = c.Rows
+	}
+	if workers <= 1 {
+		Gemm(c, a, b)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (c.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, c.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Each worker multiplies its row stripe with blocked loops.
+			sub := &Matrix{Rows: hi - lo, Cols: c.Cols, Data: c.Data[lo*c.Cols : hi*c.Cols]}
+			asub := &Matrix{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
+			GemmBlocked(sub, asub, b, 64)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

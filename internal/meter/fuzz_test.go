@@ -1,0 +1,26 @@
+package meter
+
+import "testing"
+
+// FuzzUnmarshalCSV checks the WTViewer-CSV parser never panics and that a
+// successful parse round-trips through MarshalCSV.
+func FuzzUnmarshalCSV(f *testing.F) {
+	f.Add("time_s,power_w\n0.000,100.0000\n1.000,101.5000\n")
+	f.Add("header\n")
+	f.Add("")
+	f.Add("a,b\nx,y\n")
+	f.Add("t,w\n1,2\n3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		log, err := UnmarshalCSV([]byte(input))
+		if err != nil {
+			return
+		}
+		re, err := UnmarshalCSV(MarshalCSV(log))
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if len(re) != len(log) {
+			t.Fatalf("round trip changed length: %d vs %d", len(re), len(log))
+		}
+	})
+}

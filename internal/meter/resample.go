@@ -1,0 +1,49 @@
+package meter
+
+import "sort"
+
+// Resample reconstructs a uniformly spaced log from one with gaps (sample
+// dropout) or jitter: for each grid point t = start + k·interval it
+// linearly interpolates between the nearest surrounding samples. Points
+// outside the source log's span take the nearest edge value. The input
+// must be time-ordered (as Merge produces).
+func Resample(log []Sample, start, end, interval float64) []Sample {
+	if len(log) == 0 || interval <= 0 || end < start {
+		return nil
+	}
+	var out []Sample
+	for t := start; t <= end+1e-9; t += interval {
+		out = append(out, Sample{T: t, Watts: interpolate(log, t)})
+	}
+	return out
+}
+
+// interpolate returns the linearly interpolated power at time t.
+func interpolate(log []Sample, t float64) float64 {
+	i := sort.Search(len(log), func(i int) bool { return log[i].T >= t })
+	switch {
+	case i == 0:
+		return log[0].Watts
+	case i == len(log):
+		return log[len(log)-1].Watts
+	}
+	a, b := log[i-1], log[i]
+	if b.T == a.T {
+		return b.Watts
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.Watts + frac*(b.Watts-a.Watts)
+}
+
+// Gaps returns the [start, end] spans where consecutive samples are more
+// than maxGap apart — the dropout report an operator would check before
+// trusting a session log.
+func Gaps(log []Sample, maxGap float64) [][2]float64 {
+	var out [][2]float64
+	for i := 1; i < len(log); i++ {
+		if log[i].T-log[i-1].T > maxGap {
+			out = append(out, [2]float64{log[i-1].T, log[i].T})
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package meter
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResampleFillsGaps(t *testing.T) {
+	// Samples at 0, 1, 4 (a 3-second gap), linear power ramp.
+	log := []Sample{{0, 100}, {1, 110}, {4, 140}}
+	got := Resample(log, 0, 4, 1)
+	if len(got) != 5 {
+		t.Fatalf("resampled %d points", len(got))
+	}
+	want := []float64{100, 110, 120, 130, 140}
+	for i, s := range got {
+		if math.Abs(s.Watts-want[i]) > 1e-9 {
+			t.Errorf("t=%v: %v, want %v", s.T, s.Watts, want[i])
+		}
+	}
+}
+
+func TestResampleEdges(t *testing.T) {
+	log := []Sample{{10, 200}, {11, 210}}
+	got := Resample(log, 8, 13, 1)
+	if got[0].Watts != 200 {
+		t.Errorf("before-span value %v, want clamped 200", got[0].Watts)
+	}
+	if got[len(got)-1].Watts != 210 {
+		t.Errorf("after-span value %v, want clamped 210", got[len(got)-1].Watts)
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	if got := Resample(nil, 0, 10, 1); got != nil {
+		t.Error("empty log should resample to nil")
+	}
+	if got := Resample([]Sample{{0, 1}}, 0, 10, 0); got != nil {
+		t.Error("zero interval should return nil")
+	}
+	if got := Resample([]Sample{{0, 1}}, 10, 0, 1); got != nil {
+		t.Error("inverted range should return nil")
+	}
+	// Duplicate timestamps must not divide by zero.
+	log := []Sample{{1, 100}, {1, 120}}
+	got := Resample(log, 1, 1, 1)
+	if len(got) != 1 || math.IsNaN(got[0].Watts) {
+		t.Errorf("duplicate timestamps: %v", got)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	log := []Sample{{0, 1}, {1, 1}, {5, 1}, {6, 1}, {20, 1}}
+	gaps := Gaps(log, 1.5)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if gaps[0] != [2]float64{1, 5} || gaps[1] != [2]float64{6, 20} {
+		t.Errorf("gaps = %v", gaps)
+	}
+	if Gaps(log, 100) != nil {
+		t.Error("no gaps expected with a large threshold")
+	}
+	if Gaps(nil, 1) != nil {
+		t.Error("empty log has no gaps")
+	}
+}
+
+func TestResampleRecoversDroppedLog(t *testing.T) {
+	// A meter with heavy dropout, resampled back to 1 Hz, must preserve
+	// the trace's mean within the noise.
+	m := New(13)
+	m.NoiseSD = 0
+	m.DropoutFrac = 0.3
+	log := m.Record(0, 500, func(t float64) float64 { return 300 })
+	if len(log) >= 500 {
+		t.Fatalf("dropout did not drop: %d samples", len(log))
+	}
+	re := Resample(log, 0, 500, 1)
+	if len(re) != 501 {
+		t.Fatalf("resampled %d", len(re))
+	}
+	for _, s := range re {
+		if math.Abs(s.Watts-300) > 1e-9 {
+			t.Fatalf("resampled value %v", s.Watts)
+		}
+	}
+}

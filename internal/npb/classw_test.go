@@ -1,0 +1,80 @@
+package npb
+
+import "testing"
+
+// Class W natively exercises the kernels at 8-64x the class-S problem
+// sizes; these runs take seconds each, so they are skipped with -short.
+
+func TestNativeClassWEP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EP class W ≈3 s")
+	}
+	r, err := RunEP(ClassW, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked || !r.Verified {
+		t.Errorf("EP.W.4 not verified: sx=%v sy=%v", r.SumX, r.SumY)
+	}
+}
+
+func TestNativeClassWIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IS class W")
+	}
+	r, err := RunIS(ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified || r.Keys != 1<<20 {
+		t.Errorf("IS.W.8: %+v", r)
+	}
+}
+
+func TestNativeClassWCG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CG class W ≈2 s")
+	}
+	r, err := RunCG(ClassW, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verified {
+		t.Errorf("CG.W.4 not verified: zeta=%v residual=%v", r.Zeta, r.Residual)
+	}
+}
+
+func TestNativeClassWMGFT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MG/FT class W take seconds")
+	}
+	mg, err := RunMG(ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Verified {
+		t.Errorf("MG.W.8 not verified: %.3e -> %.3e", mg.InitialNorm, mg.FinalNorm)
+	}
+	ft, err := RunFT(ClassW, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Verified {
+		t.Errorf("FT.W.4 not verified")
+	}
+}
+
+func TestNativeClassWPseudo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pseudo-apps class W take seconds")
+	}
+	for _, prog := range PseudoApps {
+		r, err := RunPseudo(prog, ClassW, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("%s.W.4 not verified: %.3e -> %.3e", prog, r.InitialError, r.FinalError)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"powerbench/internal/comm"
+	"powerbench/internal/rng"
+)
+
+// epClassM gives the EP problem exponent: 2^M Gaussian pairs.
+var epClassM = map[Class]int{
+	ClassS: 24, ClassW: 25, ClassA: 28, ClassB: 30, ClassC: 32,
+}
+
+// epReference holds the published verification sums (NPB 3.x ep.f) for the
+// classes small enough to run natively here.
+var epReference = map[Class]struct{ sx, sy float64 }{
+	ClassS: {-3.247834652034740e+3, -6.958407078382297e+3},
+	ClassW: {-2.863319731645753e+3, -6.320053679109499e+3},
+	ClassA: {-4.295875165629892e+3, -1.580732573678431e+4},
+}
+
+// epBatchLog2 is the per-batch chunk: 2^16 numbers, as in the reference.
+const epBatchLog2 = 16
+
+// EPResult reports a native EP run.
+type EPResult struct {
+	Class    Class
+	Procs    int
+	SumX     float64
+	SumY     float64
+	Counts   [10]int64 // annulus counts Q(0..9)
+	Pairs    int64     // accepted Gaussian pairs
+	Verified bool      // sums match the published reference (when known)
+	Checked  bool      // a reference existed for this class
+}
+
+// RunEP executes the Embarrassingly Parallel kernel natively on procs
+// ranks. It follows the reference algorithm: the global stream of
+// 2^(M+1) uniform randoms is cut into 2^16-number batches; each rank
+// jump-ahead seeds its batches, converts pairs (x,y) in (-1,1)² by the
+// Box-Muller acceptance test t = x²+y² ≤ 1, and accumulates Σx·f, Σy·f and
+// the annulus histogram; a final reduction combines the rank sums. The
+// result is bit-identical for every process count — the property the
+// paper relies on when varying EP's core count freely.
+func RunEP(c Class, procs int) (EPResult, error) {
+	m, ok := epClassM[c]
+	if !ok {
+		return EPResult{}, fmt.Errorf("npb: EP has no class %s", c)
+	}
+	if procs < 1 {
+		return EPResult{}, fmt.Errorf("%w: ep with %d", ErrBadProcs, procs)
+	}
+	nk := 1 << epBatchLog2             // numbers per batch half
+	nn := 1 << (uint(m) - epBatchLog2) // batches
+
+	type partial struct {
+		sx, sy float64
+		q      [10]int64
+		pairs  int64
+	}
+	results := make([]partial, procs)
+
+	w := comm.NewWorld(procs)
+	w.Run(func(cm *comm.Comm) {
+		rank := cm.Rank()
+		var p partial
+		xs := make([]float64, 2*nk)
+		for batch := rank; batch < nn; batch += cm.Size() {
+			// Position the stream at this batch's offset.
+			seed := rng.Skip(rng.DefaultSeed, rng.A, int64(batch)*int64(2*nk))
+			stream := rng.NewStream(seed, rng.A)
+			stream.NextN(xs)
+			for i := 0; i < nk; i++ {
+				x := 2*xs[2*i] - 1
+				y := 2*xs[2*i+1] - 1
+				t := x*x + y*y
+				if t > 1 {
+					continue
+				}
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				gx, gy := x*f, y*f
+				p.sx += gx
+				p.sy += gy
+				l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+				if l > 9 {
+					l = 9
+				}
+				p.q[l]++
+				p.pairs++
+			}
+		}
+		// Reduce the partials at rank 0 via the runtime, as ep.f does with
+		// MPI_Allreduce.
+		vec := make([]float64, 13)
+		vec[0], vec[1], vec[2] = p.sx, p.sy, float64(p.pairs)
+		for i, v := range p.q {
+			vec[3+i] = float64(v)
+		}
+		total := cm.Allreduce(vec, comm.OpSum)
+		if rank == 0 {
+			var agg partial
+			agg.sx, agg.sy, agg.pairs = total[0], total[1], int64(total[2])
+			for i := range agg.q {
+				agg.q[i] = int64(total[3+i])
+			}
+			results[0] = agg
+		}
+	})
+
+	res := EPResult{
+		Class: c, Procs: procs,
+		SumX: results[0].sx, SumY: results[0].sy,
+		Counts: results[0].q, Pairs: results[0].pairs,
+	}
+	if ref, ok := epReference[c]; ok {
+		res.Checked = true
+		const tol = 1e-8
+		res.Verified = relErr(res.SumX, ref.sx) < tol && relErr(res.SumY, ref.sy) < tol
+	}
+	return res, nil
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs((got - want) / want)
+}

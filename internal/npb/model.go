@@ -1,0 +1,134 @@
+package npb
+
+import (
+	"errors"
+	"fmt"
+
+	"powerbench/internal/server"
+	"powerbench/internal/workload"
+)
+
+// ErrOutOfMemory reports that a program/class does not fit the server's
+// DRAM — the paper's "CG.C.2 and CG.C.4 cannot run because the memory
+// required is beyond the maximum memory of the server" case.
+var ErrOutOfMemory = errors.New("npb: problem does not fit server memory")
+
+// ErrBadProcs reports an invalid process count for the program.
+var ErrBadProcs = errors.New("npb: invalid process count for program")
+
+// charOf maps programs to their machine-facing characteristics.
+func charOf(p Program) (workload.Characteristic, error) {
+	switch p {
+	case EP:
+		return workload.CharEP, nil
+	case IS:
+		return workload.CharIS, nil
+	case CG:
+		return workload.CharCG, nil
+	case MG:
+		return workload.CharMG, nil
+	case FT:
+		return workload.CharFT, nil
+	case BT:
+		return workload.CharBT, nil
+	case SP:
+		return workload.CharSP, nil
+	case LU:
+		return workload.CharLU, nil
+	}
+	return workload.Characteristic{}, fmt.Errorf("npb: unknown program %q", p)
+}
+
+// idioFrac is each program's idiosyncratic power offset as a fraction of
+// the idiosyncrasy scale (5% of idle power): machine behaviour outside the
+// model's features — instruction mix, uncore clock residency, prefetcher
+// interaction. These offsets are what the paper's six-feature regression
+// cannot explain. SP carries the largest (its heavy communication is
+// invisible to the PMU features), matching the paper's observation that SP
+// verifies worst; EP's residual comes structurally from its near-zero
+// vector-FP width instead, so its offset stays small to preserve the
+// Table IV-VI anchor wattages.
+var idioFrac = map[Program]float64{
+	BT: 0.2, CG: -0.6, EP: -0.2, FT: 0.4, IS: -0.5, LU: 0.3, MG: -0.3, SP: 0.6,
+}
+
+// idioScale is the idiosyncrasy unit relative to idle power.
+const idioScale = 0.05
+
+// minDurationSec floors run time: wall-clock includes MPI start-up,
+// allocation and verification that the NPB's own timers exclude.
+const minDurationSec = 60
+
+// Runnable reports whether a program/class fits the server's memory.
+func Runnable(spec *server.Spec, p Program, c Class) (bool, error) {
+	info, err := Info(p, c)
+	if err != nil {
+		return false, err
+	}
+	return info.MemBytes <= spec.MemoryBytes, nil
+}
+
+// Rate returns the delivered rate in GOp/s of running p at the given
+// process count on spec: EP interpolates the paper's measured anchors; the
+// rest scale the server's peak by the program's efficiency and true
+// bandwidth starvation.
+func Rate(spec *server.Spec, p Program, procs int) (float64, error) {
+	char, err := charOf(p)
+	if err != nil {
+		return 0, err
+	}
+	if p == EP && len(spec.EP) > 0 {
+		return spec.EP.Interp(float64(procs)), nil
+	}
+	load := server.Load{
+		Active: true, Cores: float64(procs),
+		Compute: char.Compute, FPWidth: char.FPWidth,
+		BandwidthPerCore: char.BandwidthPerCore, Comm: char.CommPerCore,
+	}
+	frac := peakFraction[p]
+	if frac == 0 {
+		frac = 0.05
+	}
+	return spec.GFLOPSPerCore * frac * float64(procs) * spec.Starvation(load), nil
+}
+
+// NewModel builds the workload model of running p class c with procs
+// processes on spec. It fails with ErrBadProcs for process counts the
+// program does not support and ErrOutOfMemory when the problem does not
+// fit (both situations the paper's figures encode as missing bars).
+func NewModel(spec *server.Spec, p Program, c Class, procs int) (workload.Model, error) {
+	if !ValidProcs(p, procs) || procs > spec.Cores {
+		return workload.Model{}, fmt.Errorf("%w: %s with %d processes (server has %d cores)", ErrBadProcs, p, procs, spec.Cores)
+	}
+	info, err := Info(p, c)
+	if err != nil {
+		return workload.Model{}, err
+	}
+	if info.MemBytes > spec.MemoryBytes {
+		return workload.Model{}, fmt.Errorf("%w: %s needs %d MB, server has %d MB",
+			ErrOutOfMemory, RunName(p, c, procs), info.MemBytes>>20, spec.MemoryBytes>>20)
+	}
+	char, err := charOf(p)
+	if err != nil {
+		return workload.Model{}, err
+	}
+	rate, err := Rate(spec, p, procs)
+	if err != nil {
+		return workload.Model{}, err
+	}
+	duration := minDurationSec * 1.0
+	if rate > 0 {
+		if d := info.GOp / rate; d > duration {
+			duration = d
+		}
+	}
+	return workload.Model{
+		Name:              RunName(p, c, procs),
+		Processes:         procs,
+		DurationSec:       duration,
+		MemoryBytes:       info.MemBytes,
+		GFLOPS:            rate,
+		Char:              char,
+		IdiosyncrasyWatts: idioFrac[p] * idioScale * spec.IdleWatts,
+	}, nil
+}

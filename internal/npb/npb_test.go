@@ -1,0 +1,418 @@
+package npb
+
+import (
+	"errors"
+	"testing"
+
+	"powerbench/internal/server"
+)
+
+func TestParseClass(t *testing.T) {
+	for _, s := range []string{"S", "W", "A", "B", "C"} {
+		c, err := ParseClass(s)
+		if err != nil || c.String() != s {
+			t.Errorf("ParseClass(%q) = %v, %v", s, c, err)
+		}
+	}
+	for _, s := range []string{"", "D", "x", "AB"} {
+		if _, err := ParseClass(s); err == nil {
+			t.Errorf("ParseClass(%q) should fail", s)
+		}
+	}
+}
+
+func TestValidProcs(t *testing.T) {
+	// EP: any; BT/SP: squares; others: powers of two (§III-C).
+	for _, n := range []int{1, 2, 3, 7, 39, 40} {
+		if !ValidProcs(EP, n) {
+			t.Errorf("EP should accept %d", n)
+		}
+	}
+	if ValidProcs(EP, 0) {
+		t.Error("no program accepts 0 processes")
+	}
+	for _, n := range []int{1, 4, 9, 16, 25, 36} {
+		if !ValidProcs(BT, n) || !ValidProcs(SP, n) {
+			t.Errorf("BT/SP should accept square %d", n)
+		}
+	}
+	for _, n := range []int{2, 8, 20, 40} {
+		if ValidProcs(BT, n) {
+			t.Errorf("BT should reject %d", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		if !ValidProcs(CG, n) || !ValidProcs(FT, n) || !ValidProcs(IS, n) ||
+			!ValidProcs(LU, n) || !ValidProcs(MG, n) {
+			t.Errorf("power-of-two programs should accept %d", n)
+		}
+	}
+	if ValidProcs(CG, 6) || ValidProcs(MG, 40) {
+		t.Error("power-of-two programs should reject non-powers")
+	}
+}
+
+func TestProcCounts(t *testing.T) {
+	got := ProcCounts(BT, 40)
+	want := []int{1, 4, 9, 16, 25, 36}
+	if len(got) != len(want) {
+		t.Fatalf("BT counts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BT counts = %v, want %v", got, want)
+		}
+	}
+	if got := ProcCounts(EP, 5); len(got) != 5 {
+		t.Errorf("EP counts up to 5 = %v", got)
+	}
+}
+
+func TestRunName(t *testing.T) {
+	if got := RunName(EP, ClassC, 4); got != "ep.C.4" {
+		t.Errorf("RunName = %q", got)
+	}
+}
+
+func TestClassTableComplete(t *testing.T) {
+	for _, p := range Programs {
+		for _, c := range []Class{ClassS, ClassW, ClassA, ClassB, ClassC} {
+			info, err := Info(p, c)
+			if err != nil {
+				t.Errorf("Info(%s, %s): %v", p, c, err)
+				continue
+			}
+			if info.MemBytes == 0 || info.GOp <= 0 {
+				t.Errorf("Info(%s, %s) = %+v", p, c, info)
+			}
+		}
+	}
+	if _, err := Info(Program("xx"), ClassA); err == nil {
+		t.Error("unknown program should error")
+	}
+	if _, err := Info(EP, Class('Z')); err == nil {
+		t.Error("unknown class should error")
+	}
+}
+
+func TestMemoryGrowsWithClass(t *testing.T) {
+	for _, p := range Programs {
+		var prev uint64
+		for _, c := range []Class{ClassA, ClassB, ClassC} {
+			m, err := MemoryBytes(p, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m < prev {
+				t.Errorf("%s: class %s memory %d below previous %d", p, c, m, prev)
+			}
+			prev = m
+		}
+	}
+}
+
+func TestEPMinimalMemoryAndSlowestGrowth(t *testing.T) {
+	// Fig. 8: EP occupies minimal memory with the slowest growth.
+	epA, _ := MemoryBytes(EP, ClassA)
+	epC, _ := MemoryBytes(EP, ClassC)
+	for _, p := range Programs {
+		if p == EP {
+			continue
+		}
+		mA, _ := MemoryBytes(p, ClassA)
+		mC, _ := MemoryBytes(p, ClassC)
+		if mA <= epA || mC <= epC {
+			t.Errorf("%s memory (%d, %d) should exceed EP's (%d, %d)", p, mA, mC, epA, epC)
+		}
+		if float64(mC)/float64(mA) <= float64(epC)/float64(epA) {
+			t.Errorf("%s growth should exceed EP's", p)
+		}
+	}
+}
+
+func TestFTLargestRunnableFootprint(t *testing.T) {
+	// Fig. 8: FT has the largest footprint among programs that can run on
+	// the Xeon-E5462 (CG.C exceeds the machine's 8 GB entirely).
+	e5462 := server.XeonE5462()
+	ftC, _ := MemoryBytes(FT, ClassC)
+	for _, p := range Programs {
+		if p == FT {
+			continue
+		}
+		mC, _ := MemoryBytes(p, ClassC)
+		runnable := mC <= e5462.MemoryBytes
+		if runnable && mC >= ftC {
+			t.Errorf("%s.C footprint %d exceeds FT's %d while still runnable", p, mC, ftC)
+		}
+	}
+	cgC, _ := MemoryBytes(CG, ClassC)
+	if cgC <= e5462.MemoryBytes {
+		t.Errorf("CG.C must not fit the Xeon-E5462 (paper Figs. 3, 8), got %d", cgC)
+	}
+}
+
+func TestNewModelBasics(t *testing.T) {
+	s := server.Xeon4870()
+	m, err := NewModel(s, EP, ClassC, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "ep.C.40" || m.Processes != 40 {
+		t.Errorf("model = %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("model invalid: %v", err)
+	}
+	if m.DurationSec < minDurationSec {
+		t.Errorf("duration %v below floor", m.DurationSec)
+	}
+}
+
+func TestNewModelEPMatchesPaperRates(t *testing.T) {
+	// EP delivered rates interpolate the paper's anchors exactly at the
+	// anchor process counts.
+	s := server.XeonE5462()
+	for _, ref := range []struct {
+		procs int
+		want  float64
+	}{{1, 0.0319}, {2, 0.0638}, {4, 0.1237}} {
+		m, err := NewModel(s, EP, ClassC, ref.procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := (m.GFLOPS - ref.want) / ref.want; rel > 1e-9 || rel < -1e-9 {
+			t.Errorf("ep.C.%d rate = %v, want %v", ref.procs, m.GFLOPS, ref.want)
+		}
+	}
+}
+
+func TestNewModelEPDurationMatchesFig11(t *testing.T) {
+	// Fig. 11: EP.C on the Xeon-E5462 takes ≈36 KJ at ≈145 W on one core →
+	// ≈250 s; duration halves with cores.
+	s := server.XeonE5462()
+	m1, err := NewModel(s, EP, ClassC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.DurationSec < 200 || m1.DurationSec > 300 {
+		t.Errorf("ep.C.1 duration = %v s, want ≈250", m1.DurationSec)
+	}
+	m4, err := NewModel(s, EP, ClassC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.DurationSec >= m1.DurationSec/3 {
+		t.Errorf("ep.C.4 duration %v should be ~4x below ep.C.1 %v", m4.DurationSec, m1.DurationSec)
+	}
+}
+
+func TestNewModelOutOfMemory(t *testing.T) {
+	s := server.XeonE5462()
+	_, err := NewModel(s, CG, ClassC, 1)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("CG.C on 8 GB server: err = %v, want ErrOutOfMemory", err)
+	}
+	ok, err := Runnable(s, CG, ClassC)
+	if err != nil || ok {
+		t.Errorf("Runnable(CG.C) = %v, %v", ok, err)
+	}
+	ok, err = Runnable(s, FT, ClassC)
+	if err != nil || !ok {
+		t.Errorf("Runnable(FT.C) = %v, %v", ok, err)
+	}
+}
+
+func TestNewModelBadProcs(t *testing.T) {
+	s := server.XeonE5462()
+	if _, err := NewModel(s, BT, ClassA, 2); !errors.Is(err, ErrBadProcs) {
+		t.Errorf("BT with 2 procs: %v", err)
+	}
+	if _, err := NewModel(s, EP, ClassA, 5); !errors.Is(err, ErrBadProcs) {
+		t.Errorf("5 procs on 4-core server: %v", err)
+	}
+}
+
+func TestRateStarvationReducesThroughput(t *testing.T) {
+	// Memory-bound programs stop scaling once bandwidth saturates.
+	s := server.XeonE5462()
+	r1, err := Rate(s, IS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Rate(s, IS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 >= 3.9*r1 {
+		t.Errorf("IS should not scale linearly under starvation: %v vs %v", r1, r4)
+	}
+	b1, err := Rate(s, BT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 <= r1 {
+		t.Errorf("BT per-core rate %v should exceed IS %v", b1, r1)
+	}
+}
+
+// --- Native kernel verification (class S across process counts). ---
+
+func TestNativeEPVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native EP class S takes ≈1.5 s")
+	}
+	var sx float64
+	for _, procs := range []int{1, 3, 4} {
+		r, err := RunEP(ClassS, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified || !r.Checked {
+			t.Errorf("EP.S.%d not verified: sx=%v sy=%v", procs, r.SumX, r.SumY)
+		}
+		if procs == 1 {
+			sx = r.SumX
+		} else if d := (r.SumX - sx) / sx; d > 1e-12 || d < -1e-12 {
+			// Summation order differs across process counts (as in MPI);
+			// agreement must hold to reduction-order tolerance.
+			t.Errorf("EP sums diverge across process counts: rel %v", d)
+		}
+	}
+}
+
+func TestNativeISVerifies(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		r, err := RunIS(ClassS, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("IS.S.%d failed verification", procs)
+		}
+		if r.Keys != 1<<16 {
+			t.Errorf("IS.S keys = %d", r.Keys)
+		}
+	}
+}
+
+func TestNativeCGVerifies(t *testing.T) {
+	var zeta float64
+	for _, procs := range []int{1, 2, 4} {
+		r, err := RunCG(ClassS, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("CG.S.%d not verified: zeta=%v residual=%v", procs, r.Zeta, r.Residual)
+		}
+		if procs == 1 {
+			zeta = r.Zeta
+		} else if d := r.Zeta - zeta; d > 1e-10 || d < -1e-10 {
+			t.Errorf("CG zeta differs across proc counts: %v", d)
+		}
+	}
+}
+
+func TestNativeMGVerifies(t *testing.T) {
+	for _, procs := range []int{1, 2, 8} {
+		r, err := RunMG(ClassS, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("MG.S.%d not verified: %.3e -> %.3e", procs, r.InitialNorm, r.FinalNorm)
+		}
+	}
+}
+
+func TestNativeFTVerifies(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		r, err := RunFT(ClassS, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verified {
+			t.Errorf("FT.S.%d not verified", procs)
+		}
+	}
+}
+
+func TestNativePseudoAppsVerify(t *testing.T) {
+	for _, prog := range PseudoApps {
+		for _, procs := range []int{1, 4} {
+			r, err := RunPseudo(prog, ClassS, procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Verified {
+				t.Errorf("%s.S.%d not verified: %.3e -> %.3e", prog, procs, r.InitialError, r.FinalError)
+			}
+		}
+	}
+}
+
+func TestNativeErrors(t *testing.T) {
+	if _, err := RunEP(Class('Z'), 1); err == nil {
+		t.Error("unknown class should error")
+	}
+	if _, err := RunIS(ClassS, 3); err == nil {
+		t.Error("IS with 3 procs should error")
+	}
+	if _, err := RunCG(ClassS, 3); err == nil {
+		t.Error("CG with 3 procs should error")
+	}
+	if _, err := RunMG(ClassS, 3); err == nil {
+		t.Error("MG with 3 procs should error")
+	}
+	if _, err := RunFT(ClassS, 3); err == nil {
+		t.Error("FT with 3 procs should error")
+	}
+	if _, err := RunPseudo(BT, ClassS, 2); err == nil {
+		t.Error("BT with 2 procs should error")
+	}
+	if _, err := RunPseudo(EP, ClassS, 1); err == nil {
+		t.Error("RunPseudo(EP) should error")
+	}
+}
+
+func TestRunNativeDispatch(t *testing.T) {
+	for _, p := range []Program{IS, CG, MG, FT, BT, SP, LU} {
+		r, err := RunNative(p, ClassS, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !r.Verified {
+			t.Errorf("%s.S not verified: %s", p, r.Detail)
+		}
+		if r.Seconds <= 0 || r.Detail == "" {
+			t.Errorf("%s result incomplete: %+v", p, r)
+		}
+	}
+	if _, err := RunNative(Program("xx"), ClassS, 1); err == nil {
+		t.Error("unknown program should error")
+	}
+}
+
+func BenchmarkNativeIS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunIS(ClassS, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeMG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMG(ClassS, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFT(ClassS, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package npb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerbench/internal/server"
+)
+
+// Property: ValidProcs(BT/SP) accepts exactly the perfect squares and
+// ValidProcs of the power-of-two programs exactly the powers of two —
+// checked against independent arithmetic.
+func TestPropertyProcConstraints(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := int(math.Round(math.Sqrt(float64(n))))
+		isSquare := r*r == n
+		isPow2 := n&(n-1) == 0
+		if ValidProcs(BT, n) != isSquare || ValidProcs(SP, n) != isSquare {
+			return false
+		}
+		for _, p := range []Program{CG, FT, IS, LU, MG} {
+			if ValidProcs(p, n) != isPow2 {
+				return false
+			}
+		}
+		return ValidProcs(EP, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every model the constructor accepts validates, has a positive
+// duration no shorter than the floor, and its power on the target server
+// is at least idle.
+func TestPropertyModelsWellFormed(t *testing.T) {
+	spec := server.Xeon4870()
+	classes := []Class{ClassA, ClassB, ClassC}
+	f := func(progIdx, classIdx, procsRaw uint8) bool {
+		prog := Programs[int(progIdx)%len(Programs)]
+		class := classes[int(classIdx)%len(classes)]
+		procs := int(procsRaw%40) + 1
+		m, err := NewModel(spec, prog, class, procs)
+		if err != nil {
+			return true // constraint rejection is fine
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		if m.DurationSec < minDurationSec {
+			return false
+		}
+		return spec.PowerOf(m) >= spec.IdleWatts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the EP verification sums are independent of the process count
+// to reduction-order tolerance — re-checked at random process counts.
+func TestPropertyEPProcInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several native EP class S runs")
+	}
+	ref, err := RunEP(ClassS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pRaw uint8) bool {
+		procs := int(pRaw%7) + 2
+		r, err := RunEP(ClassS, procs)
+		if err != nil {
+			return false
+		}
+		return math.Abs((r.SumX-ref.SumX)/ref.SumX) < 1e-12 &&
+			math.Abs((r.SumY-ref.SumY)/ref.SumY) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IS sorts correctly for random valid (class, procs) choices.
+func TestPropertyISAlwaysSorts(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		procs := 1 << (pRaw % 4) // 1, 2, 4, 8
+		r, err := RunIS(ClassS, procs)
+		return err == nil && r.Verified
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package npb
+
+import (
+	"fmt"
+	"time"
+)
+
+// NativeResult is the common summary of one native kernel execution.
+type NativeResult struct {
+	Program  Program
+	Class    Class
+	Procs    int
+	Seconds  float64
+	Verified bool
+	// Detail is a one-line human-readable result summary.
+	Detail string
+}
+
+// RunNative dispatches a native execution of any of the eight programs.
+func RunNative(p Program, c Class, procs int) (NativeResult, error) {
+	start := time.Now()
+	out := NativeResult{Program: p, Class: c, Procs: procs}
+	switch p {
+	case EP:
+		r, err := RunEP(c, procs)
+		if err != nil {
+			return out, err
+		}
+		out.Verified = !r.Checked || r.Verified
+		out.Detail = fmt.Sprintf("sx=%.9e sy=%.9e pairs=%d checked=%v", r.SumX, r.SumY, r.Pairs, r.Checked)
+	case IS:
+		r, err := RunIS(c, procs)
+		if err != nil {
+			return out, err
+		}
+		out.Verified = r.Verified
+		out.Detail = fmt.Sprintf("keys=%d", r.Keys)
+	case CG:
+		r, err := RunCG(c, procs)
+		if err != nil {
+			return out, err
+		}
+		out.Verified = r.Verified
+		out.Detail = fmt.Sprintf("zeta=%.12f residual=%.3e", r.Zeta, r.Residual)
+	case MG:
+		r, err := RunMG(c, procs)
+		if err != nil {
+			return out, err
+		}
+		out.Verified = r.Verified
+		out.Detail = fmt.Sprintf("residual %.3e -> %.3e", r.InitialNorm, r.FinalNorm)
+	case FT:
+		r, err := RunFT(c, procs)
+		if err != nil {
+			return out, err
+		}
+		out.Verified = r.Verified
+		if len(r.Checksums) > 0 {
+			out.Detail = fmt.Sprintf("checksum[0]=%v", r.Checksums[0])
+		}
+	case BT, SP, LU:
+		r, err := RunPseudo(p, c, procs)
+		if err != nil {
+			return out, err
+		}
+		out.Verified = r.Verified
+		out.Detail = fmt.Sprintf("error %.3e -> %.3e over %d iters", r.InitialError, r.FinalError, r.Iterations)
+	default:
+		return out, fmt.Errorf("npb: unknown program %q", p)
+	}
+	out.Seconds = time.Since(start).Seconds()
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders one series of a figure as a horizontal ASCII bar chart,
+// the terminal equivalent of the paper's bar figures (Figs. 3, 4, 9). Bars
+// scale between the series' minimum and maximum so the orderings the paper
+// argues from are visible at a glance; NaN entries (programs that cannot
+// run) render as a gap marked "n/a".
+func (s *Series) BarChart(name string, width int) (string, error) {
+	ys, ok := s.Values[name]
+	if !ok {
+		return "", fmt.Errorf("report: no series %q", name)
+	}
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ys {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return "", fmt.Errorf("report: series %q has no finite values", name)
+	}
+
+	labelW := 0
+	for _, l := range s.XLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s — %s\n", s.Title, name)
+	}
+	span := hi - lo
+	for i, l := range s.XLabels {
+		v := ys[i]
+		if math.IsNaN(v) {
+			fmt.Fprintf(&b, "%-*s  %s n/a\n", labelW, l, strings.Repeat(" ", width))
+			continue
+		}
+		frac := 1.0
+		if span > 0 {
+			// Anchor the shortest bar at 20% so small differences remain
+			// visible without a zero-suppressed axis lying about ratios.
+			frac = 0.2 + 0.8*(v-lo)/span
+		}
+		n := int(math.Round(frac * float64(width)))
+		fmt.Fprintf(&b, "%-*s  %-*s %.4g\n", labelW, l, width, strings.Repeat("#", n), v)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	s := NewSeries("Power test", "Benchmark", []string{"ep.C.4", "hpl.4", "cg.C.4"})
+	if err := s.Add("Power (W)", []float64{174, 235, math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	chart, err := s.BarChart("Power (W)", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	if len(lines) != 4 { // title + 3 bars
+		t.Fatalf("chart:\n%s", chart)
+	}
+	epBars := strings.Count(lines[1], "#")
+	hplBars := strings.Count(lines[2], "#")
+	if hplBars <= epBars {
+		t.Errorf("HPL bar (%d) should be longer than EP (%d)", hplBars, epBars)
+	}
+	if hplBars != 40 {
+		t.Errorf("max bar should fill the width, got %d", hplBars)
+	}
+	if !strings.Contains(lines[3], "n/a") {
+		t.Errorf("NaN should render as n/a: %q", lines[3])
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	s := NewSeries("t", "x", []string{"a"})
+	if _, err := s.BarChart("missing", 10); err == nil {
+		t.Error("missing series should error")
+	}
+	if err := s.Add("allnan", []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BarChart("allnan", 10); err == nil {
+		t.Error("all-NaN series should error")
+	}
+}
+
+func TestBarChartConstantSeries(t *testing.T) {
+	s := NewSeries("", "x", []string{"a", "b"})
+	if err := s.Add("v", []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	chart, err := s.BarChart("v", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(chart, "\n"), "\n") {
+		if strings.Count(line, "#") != 20 {
+			t.Errorf("constant series should render full bars: %q", line)
+		}
+	}
+}
+
+func TestBarChartDefaultWidth(t *testing.T) {
+	s := NewSeries("", "x", []string{"a"})
+	if err := s.Add("v", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	chart, err := s.BarChart("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(chart, "#") != 50 {
+		t.Errorf("default width should be 50: %q", chart)
+	}
+}

@@ -1,0 +1,145 @@
+// Package report renders the reproduction's tables and figure data as
+// aligned ASCII (for terminals) and TSV (for plotting tools): every table
+// and figure of the paper is regenerated as one of these two shapes.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// TSV renders the table as tab-separated values with a header row.
+func (t *Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is figure data: named Y series over shared X labels.
+type Series struct {
+	Title   string
+	XName   string
+	XLabels []string
+	// Names preserves series order; Values maps name → per-X values, with
+	// NaN marking missing points (programs that cannot run).
+	Names  []string
+	Values map[string][]float64
+}
+
+// NewSeries returns an empty figure with the given x axis.
+func NewSeries(title, xName string, xLabels []string) *Series {
+	return &Series{
+		Title: title, XName: xName, XLabels: xLabels,
+		Values: make(map[string][]float64),
+	}
+}
+
+// Add appends one named series; its length must match the x axis.
+func (s *Series) Add(name string, ys []float64) error {
+	if len(ys) != len(s.XLabels) {
+		return fmt.Errorf("report: series %q has %d points for %d labels", name, len(ys), len(s.XLabels))
+	}
+	if _, dup := s.Values[name]; dup {
+		return fmt.Errorf("report: duplicate series %q", name)
+	}
+	s.Names = append(s.Names, name)
+	s.Values[name] = ys
+	return nil
+}
+
+// TSV renders the figure data with one row per X label.
+func (s *Series) TSV() string {
+	var b strings.Builder
+	b.WriteString(s.XName)
+	for _, n := range s.Names {
+		b.WriteByte('\t')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	for i, x := range s.XLabels {
+		b.WriteString(x)
+		for _, n := range s.Names {
+			fmt.Fprintf(&b, "\t%g", s.Values[n][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the figure as an aligned table for terminals.
+func (s *Series) String() string {
+	t := Table{Title: s.Title, Columns: append([]string{s.XName}, s.Names...)}
+	for i, x := range s.XLabels {
+		row := []string{x}
+		for _, n := range s.Names {
+			v := s.Values[n][i]
+			if v != v { // NaN: the paper's "cannot run" gaps
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4g", v))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

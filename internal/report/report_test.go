@@ -1,0 +1,57 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "333") {
+		t.Errorf("rendered:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableTSV(t *testing.T) {
+	tab := Table{Columns: []string{"x", "y"}}
+	tab.AddRow("1", "2")
+	got := tab.TSV()
+	if got != "x\ty\n1\t2\n" {
+		t.Errorf("TSV = %q", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fig", "n", []string{"1", "2"})
+	if err := s.Add("p", []float64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("p", []float64{1, 2}); err == nil {
+		t.Error("duplicate series should error")
+	}
+	if err := s.Add("q", []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	tsv := s.TSV()
+	if !strings.Contains(tsv, "n\tp") || !strings.Contains(tsv, "2\t20") {
+		t.Errorf("TSV = %q", tsv)
+	}
+}
+
+func TestSeriesNaNRendersAsDash(t *testing.T) {
+	s := NewSeries("fig", "x", []string{"a"})
+	if err := s.Add("v", []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "-") {
+		t.Errorf("NaN should render as dash:\n%s", s.String())
+	}
+}

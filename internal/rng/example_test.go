@@ -1,0 +1,22 @@
+package rng_test
+
+import (
+	"fmt"
+
+	"powerbench/internal/rng"
+)
+
+// Jump-ahead positions a rank's stream without generating the skipped
+// values — the "find my seed" scheme EP and IS use to split one global
+// sequence across processes.
+func ExampleStream_SkipAhead() {
+	serial := rng.NewStream(rng.DefaultSeed, rng.A)
+	for i := 0; i < 1000; i++ {
+		serial.Next()
+	}
+	jumped := rng.NewStream(rng.DefaultSeed, rng.A)
+	jumped.SkipAhead(1000)
+	fmt.Println(serial.Next() == jumped.Next())
+	// Output:
+	// true
+}

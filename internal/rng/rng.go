@@ -1,0 +1,115 @@
+// Package rng implements the NAS Parallel Benchmarks pseudo-random number
+// scheme: the 46-bit linear congruential generator
+//
+//	x_{k+1} = a·x_k mod 2^46,  a = 5^13 = 1220703125
+//
+// known in the NPB sources as randlc/vranlc, together with the O(log n)
+// jump-ahead used to give every MPI rank an independent, reproducible
+// substream. EP, IS, CG and FT all derive their inputs from this generator,
+// and EP's published verification sums depend on reproducing it exactly, so
+// the arithmetic below follows the reference double-precision implementation
+// (splitting operands into 23-bit halves) rather than using integer math —
+// the two agree, but keeping the reference form makes the correspondence
+// auditable.
+package rng
+
+const (
+	// A is the NPB multiplier 5^13.
+	A = 1220703125.0
+	// DefaultSeed is the seed used by EP and several other kernels.
+	DefaultSeed = 271828183.0
+
+	r23 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
+	t23 = 1.0 / r23
+	r46 = r23 * r23
+	t46 = t23 * t23
+)
+
+// Randlc advances *x one step of the LCG with multiplier a and returns the
+// result scaled into (0,1). It is a direct transcription of the NPB randlc
+// function: a and x are treated as 46-bit integers stored in float64s, and
+// the 92-bit product is formed from 23-bit halves.
+func Randlc(x *float64, a float64) float64 {
+	// Split a = 2^23·a1 + a2 and x = 2^23·x1 + x2.
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * *x
+	x1 := float64(int64(t1))
+	x2 := *x - t23*x1
+
+	// z = a1·x2 + a2·x1 (mod 2^23), then x = 2^23·z + a2·x2 (mod 2^46).
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// Vranlc fills out with n successive values of the sequence, advancing *x.
+// It matches the NPB vranlc routine.
+func Vranlc(n int, x *float64, a float64, out []float64) {
+	for i := 0; i < n; i++ {
+		out[i] = Randlc(x, a)
+	}
+}
+
+// Power computes a^n mod 2^46 in the NPB floating representation using
+// binary exponentiation; this is the "find my seed" jump-ahead that lets
+// rank r start at element r·chunk of the global sequence in O(log n) steps.
+func Power(a float64, n int64) float64 {
+	result := 1.0
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			// result = result*base mod 2^46, via one Randlc step on a copy.
+			r := result
+			Randlc(&r, base)
+			result = r
+		}
+		b := base
+		Randlc(&b, base)
+		base = b
+		n >>= 1
+	}
+	return result
+}
+
+// Skip returns the seed positioned n steps after seed, i.e. seed·a^n mod 2^46.
+func Skip(seed, a float64, n int64) float64 {
+	an := Power(a, n)
+	x := seed
+	Randlc(&x, an)
+	return x
+}
+
+// Stream is a convenience wrapper holding generator state.
+type Stream struct {
+	x float64
+	a float64
+}
+
+// NewStream returns a Stream seeded at seed with multiplier a. Pass A and
+// DefaultSeed for the canonical NPB stream.
+func NewStream(seed, a float64) *Stream { return &Stream{x: seed, a: a} }
+
+// Next returns the next value in (0,1).
+func (s *Stream) Next() float64 { return Randlc(&s.x, s.a) }
+
+// NextN fills out with the next len(out) values.
+func (s *Stream) NextN(out []float64) { Vranlc(len(out), &s.x, s.a, out) }
+
+// Seed returns the current raw state (a 46-bit integer stored in a float64).
+func (s *Stream) Seed() float64 { return s.x }
+
+// SkipAhead advances the stream by n steps in O(log n) time.
+func (s *Stream) SkipAhead(n int64) { s.x = Skip(s.x, s.a, n) }
+
+// Uint64n maps the next value to an integer in [0, n) — used by IS key
+// generation and by synthetic address-trace construction. n must be > 0.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	return uint64(s.Next() * float64(n))
+}

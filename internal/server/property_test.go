@@ -1,0 +1,122 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerbench/internal/workload"
+)
+
+// randomChar builds a valid characteristic from raw fuzz bytes.
+func randomChar(a, b, c, d uint8) workload.Characteristic {
+	return workload.Characteristic{
+		Compute:          float64(a%101) / 100,
+		FPWidth:          float64(b%101) / 100,
+		BandwidthPerCore: float64(c%51) / 100,
+		CommPerCore:      float64(d%101) / 100,
+		InstrPerFlop:     1 + float64(a%5),
+	}
+}
+
+// Property: for any workload characteristic, power is monotone
+// non-decreasing in the number of active cores on every standard server.
+func TestPropertyPowerMonotoneInCores(t *testing.T) {
+	specs := All()
+	f := func(a, b, c, d uint8, footRaw uint8) bool {
+		char := randomChar(a, b, c, d)
+		foot := float64(footRaw%101) / 100
+		for _, s := range specs {
+			prev := s.IdleWatts
+			for n := 1; n <= s.Cores; n++ {
+				p := s.Power(Load{
+					Active: true, Cores: float64(n),
+					Compute: char.Compute, FPWidth: char.FPWidth,
+					BandwidthPerCore: char.BandwidthPerCore,
+					Comm:             char.CommPerCore,
+					FootprintFrac:    foot,
+				})
+				if p < prev-1e-9 {
+					return false
+				}
+				prev = p
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: power never drops below idle and stays finite and bounded by
+// a sane multiple of idle.
+func TestPropertyPowerBounded(t *testing.T) {
+	specs := All()
+	f := func(a, b, c, d uint8, coresRaw uint8, footRaw uint8) bool {
+		char := randomChar(a, b, c, d)
+		for _, s := range specs {
+			n := float64(coresRaw % uint8(s.Cores+1)) // 0..cores
+			p := s.Power(Load{
+				Active: n > 0, Cores: n,
+				Compute: char.Compute, FPWidth: char.FPWidth,
+				BandwidthPerCore: char.BandwidthPerCore,
+				Comm:             char.CommPerCore,
+				FootprintFrac:    float64(footRaw%101) / 100,
+			})
+			if math.IsNaN(p) || p < s.IdleWatts || p > 3*s.IdleWatts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Features are non-negative and the bandwidth-utilization
+// feature never exceeds 1.
+func TestPropertyFeaturesSane(t *testing.T) {
+	s := Opteron8347()
+	f := func(a, b, c, d uint8, coresRaw uint8) bool {
+		char := randomChar(a, b, c, d)
+		n := float64(coresRaw % 17) // 0..16
+		feats := s.Features(Load{
+			Active: n > 0, Cores: n,
+			Compute: char.Compute, FPWidth: char.FPWidth,
+			BandwidthPerCore: char.BandwidthPerCore,
+		})
+		for _, v := range feats {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return feats[4] <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the anchor curve is monotone for monotone anchor data.
+func TestPropertyAnchorCurveMonotone(t *testing.T) {
+	f := func(v1, v2, v3 uint16) bool {
+		a := float64(v1%1000) + 1
+		b := a + float64(v2%1000) + 1
+		c := b + float64(v3%1000) + 1
+		curve := AnchorCurve{{1, a}, {8, b}, {16, c}}
+		prev := 0.0
+		for n := 1.0; n <= 20; n++ {
+			v := curve.Interp(n)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

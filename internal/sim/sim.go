@@ -1,0 +1,154 @@
+// Package sim is the execution substrate that stands in for "run the
+// program on the server while the WT210 logs power": it takes a workload
+// model, evaluates the server's calibrated power response over the run's
+// timeline (ramp-up transient, steady phase with small phase wiggle,
+// ramp-down), drives the simulated meter at 1 Hz and the PMU sampler at
+// 10 s, and records the 1 s memory samples the paper's procedure collects.
+// The downstream analysis pipeline (internal/core) consumes its RunResults
+// exactly as the paper's scripts consume merged WTViewer CSV files.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"powerbench/internal/meter"
+	"powerbench/internal/pmu"
+	"powerbench/internal/server"
+	"powerbench/internal/workload"
+)
+
+// Engine runs workload models on one server.
+type Engine struct {
+	Server *server.Spec
+	Meter  *meter.Meter
+	PMU    *pmu.Sampler
+
+	// RampSec is the start-up/shut-down transient length (allocation,
+	// process spawn, MPI teardown). It is capped at 5% of the run so the
+	// paper's 10% head/tail trim always excludes it.
+	RampSec float64
+	// WiggleFrac modulates steady-state power by a slow oscillation of this
+	// relative amplitude, imitating program phase structure.
+	WiggleFrac float64
+}
+
+// New returns an engine with the paper's measurement setup: 1 Hz meter with
+// 0.5 W noise, 10 s PMU windows, 8 s ramps, 1% phase wiggle. seed makes the
+// whole simulation reproducible.
+func New(spec *server.Spec, seed float64) *Engine {
+	return &Engine{
+		Server:     spec,
+		Meter:      meter.New(seed),
+		PMU:        pmu.NewSampler(seed + 1),
+		RampSec:    8,
+		WiggleFrac: 0.01,
+	}
+}
+
+// RunResult is the record of one program execution.
+type RunResult struct {
+	Model workload.Model
+	// Start and End are the server-clock timestamps of the run.
+	Start, End float64
+	// PowerLog is the meter trace covering the run.
+	PowerLog []meter.Sample
+	// PMUSamples are the counter windows of the run.
+	PMUSamples []pmu.Sample
+	// MemorySamples are 1 s resident-memory readings in bytes.
+	MemorySamples []float64
+	// SteadyWatts is the model's noiseless steady-state power (for tests;
+	// the analysis pipeline must not use it).
+	SteadyWatts float64
+}
+
+// Duration returns the run length in seconds.
+func (r RunResult) Duration() float64 { return r.End - r.Start }
+
+// Run executes m starting at server-clock time start.
+func (e *Engine) Run(m workload.Model, start float64) (RunResult, error) {
+	if err := m.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if m.DurationSec <= 0 {
+		return RunResult{}, fmt.Errorf("sim: %s has no duration", m.Name)
+	}
+	steady := e.Server.PowerOf(m)
+	idle := e.Server.IdleWatts
+	ramp := e.RampSec
+	if maxRamp := 0.05 * m.DurationSec; ramp > maxRamp {
+		ramp = maxRamp
+	}
+	end := start + m.DurationSec
+
+	powerAt := func(t float64) float64 {
+		rel := t - start
+		switch {
+		case rel < 0 || rel > m.DurationSec:
+			return idle
+		case rel < ramp:
+			return idle + (steady-idle)*rel/ramp
+		case rel > m.DurationSec-ramp:
+			return idle + (steady-idle)*(m.DurationSec-rel)/ramp
+		default:
+			p := idle + (steady-idle)*m.PhaseIntensityAt(rel/m.DurationSec)
+			if e.WiggleFrac == 0 || steady == idle {
+				return p
+			}
+			return p + (steady-idle)*e.WiggleFrac*math.Sin(2*math.Pi*rel/37)
+		}
+	}
+
+	log := e.Meter.Record(start, end, powerAt)
+	samples, err := e.PMU.Collect(e.Server, m)
+	if err != nil {
+		return RunResult{}, err
+	}
+	for i := range samples {
+		samples[i].T += start
+	}
+
+	mem := make([]float64, 0, int(m.DurationSec)+1)
+	for t := 0.0; t <= m.DurationSec; t++ {
+		frac := 1.0
+		if ramp > 0 && t < ramp {
+			frac = t / ramp
+		}
+		mem = append(mem, frac*float64(m.MemoryBytes))
+	}
+
+	return RunResult{
+		Model:         m,
+		Start:         start,
+		End:           end,
+		PowerLog:      log,
+		PMUSamples:    samples,
+		MemorySamples: mem,
+		SteadyWatts:   steady,
+	}, nil
+}
+
+// RunSequence executes the models back to back with idle gaps between them,
+// as the paper's test scripts do, returning one result per model plus the
+// merged power log of the whole session (including the gaps, recorded at
+// idle power).
+func (e *Engine) RunSequence(models []workload.Model, gapSec float64) ([]RunResult, []meter.Sample, error) {
+	var results []RunResult
+	var logs [][]meter.Sample
+	t := 0.0
+	for i, m := range models {
+		if i > 0 && gapSec > 0 {
+			gap := e.Meter.Record(t, t+gapSec, func(float64) float64 { return e.Server.IdleWatts })
+			logs = append(logs, gap)
+			t += gapSec + 1
+		}
+		r, err := e.Run(m, t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: running %s: %w", m.Name, err)
+		}
+		results = append(results, r)
+		logs = append(logs, r.PowerLog)
+		t = r.End + 1
+	}
+	return results, meter.Merge(logs...), nil
+}

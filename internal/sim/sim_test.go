@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"powerbench/internal/meter"
+	"powerbench/internal/server"
+	"powerbench/internal/stats"
+	"powerbench/internal/workload"
+)
+
+func epModel(procs int, dur float64) workload.Model {
+	return workload.Model{
+		Name: "ep.C", Processes: procs, DurationSec: dur,
+		MemoryBytes: 30 << 20, GFLOPS: 0.03, Char: workload.CharEP,
+	}
+}
+
+func TestRunProducesTrace(t *testing.T) {
+	e := New(server.XeonE5462(), 1)
+	r, err := e.Run(epModel(4, 200), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PowerLog) != 201 {
+		t.Errorf("power samples = %d, want 201", len(r.PowerLog))
+	}
+	if len(r.MemorySamples) != 201 {
+		t.Errorf("memory samples = %d", len(r.MemorySamples))
+	}
+	if len(r.PMUSamples) != 20 {
+		t.Errorf("PMU windows = %d, want 20", len(r.PMUSamples))
+	}
+	if r.Duration() != 200 {
+		t.Errorf("duration = %v", r.Duration())
+	}
+}
+
+func TestTrimmedMeanRecoversSteadyPower(t *testing.T) {
+	// The paper's analysis (drop 10% head/tail, average) must recover the
+	// model's steady-state power despite ramps, wiggle and meter noise.
+	e := New(server.XeonE5462(), 42)
+	r, err := e.Run(epModel(4, 300), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.TrimmedMean(meter.Watts(r.PowerLog), 0.10)
+	if math.Abs(got-r.SteadyWatts) > 1.0 {
+		t.Errorf("trimmed mean %.2f vs steady %.2f", got, r.SteadyWatts)
+	}
+	// The raw mean is dragged down by the ramps; it should sit below.
+	raw := stats.Mean(meter.Watts(r.PowerLog))
+	if raw >= got {
+		t.Errorf("raw mean %.2f should be below trimmed %.2f (ramp transients)", raw, got)
+	}
+}
+
+func TestRampContained(t *testing.T) {
+	e := New(server.XeonE5462(), 3)
+	e.Meter.NoiseSD = 0
+	r, err := e.Run(epModel(2, 400), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := e.Server.IdleWatts
+	first := r.PowerLog[0].Watts
+	if math.Abs(first-idle) > 1 {
+		t.Errorf("run should start near idle, got %.1f", first)
+	}
+	mid := r.PowerLog[200].Watts
+	if math.Abs(mid-r.SteadyWatts) > 0.02*r.SteadyWatts {
+		t.Errorf("mid-run power %.1f far from steady %.1f", mid, r.SteadyWatts)
+	}
+}
+
+func TestShortRunRampCapped(t *testing.T) {
+	e := New(server.XeonE5462(), 5)
+	e.Meter.NoiseSD = 0
+	r, err := e.Run(epModel(1, 20), 0) // 5% of 20 s = 1 s ramp
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample at t=2 (past the capped ramp) should be at steady level.
+	if got := r.PowerLog[2].Watts; math.Abs(got-r.SteadyWatts) > 0.03*r.SteadyWatts {
+		t.Errorf("power after capped ramp %.1f, steady %.1f", got, r.SteadyWatts)
+	}
+}
+
+func TestMemoryRampsToFootprint(t *testing.T) {
+	e := New(server.XeonE5462(), 9)
+	m := epModel(4, 100)
+	r, err := e.Run(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemorySamples[0] != 0 {
+		t.Errorf("memory starts at %v", r.MemorySamples[0])
+	}
+	want := float64(m.MemoryBytes)
+	if got := r.MemorySamples[50]; got != want {
+		t.Errorf("steady memory %v, want %v", got, want)
+	}
+}
+
+func TestPMUTimestampsShifted(t *testing.T) {
+	e := New(server.XeonE5462(), 2)
+	r, err := e.Run(epModel(2, 100), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PMUSamples) == 0 || r.PMUSamples[0].T != 500 {
+		t.Errorf("PMU sample start = %v, want 500", r.PMUSamples[0].T)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	e := New(server.XeonE5462(), 1)
+	if _, err := e.Run(workload.Model{}, 0); err == nil {
+		t.Error("invalid model should error")
+	}
+	m := epModel(1, 100)
+	m.DurationSec = 0
+	if _, err := e.Run(m, 0); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestRunSequence(t *testing.T) {
+	e := New(server.Opteron8347(), 11)
+	models := []workload.Model{epModel(1, 60), epModel(8, 60), epModel(16, 60)}
+	results, merged, err := e.RunSequence(models, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Runs must not overlap and must appear in order.
+	for i := 1; i < len(results); i++ {
+		if results[i].Start <= results[i-1].End {
+			t.Errorf("run %d starts at %v before previous end %v", i, results[i].Start, results[i-1].End)
+		}
+	}
+	// Merged log must be time ordered and span the whole session.
+	for i := 1; i < len(merged); i++ {
+		if merged[i].T < merged[i-1].T {
+			t.Fatalf("merged log out of order at %d", i)
+		}
+	}
+	if merged[len(merged)-1].T < results[2].End-1 {
+		t.Errorf("merged log ends at %v before last run end %v", merged[len(merged)-1].T, results[2].End)
+	}
+	// Each run's window in the merged log must recover that run's power.
+	for _, r := range results {
+		w := meter.Window(merged, r.Start, r.End)
+		got := stats.TrimmedMean(meter.Watts(w), 0.10)
+		if math.Abs(got-r.SteadyWatts) > 1.5 {
+			t.Errorf("%s (n=%d): window mean %.1f vs steady %.1f", r.Model.Name, r.Model.Processes, got, r.SteadyWatts)
+		}
+	}
+}
+
+func TestMorePowerWithMoreCores(t *testing.T) {
+	e := New(server.Xeon4870(), 4)
+	var prev float64
+	for _, n := range []int{1, 10, 20, 40} {
+		r, err := e.Run(epModel(n, 120), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := stats.TrimmedMean(meter.Watts(r.PowerLog), 0.10)
+		if avg <= prev {
+			t.Errorf("power at n=%d (%.1f) not above previous (%.1f)", n, avg, prev)
+		}
+		prev = avg
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	e := New(server.XeonE5462(), 1)
+	m := epModel(4, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(m, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

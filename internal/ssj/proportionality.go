@@ -1,0 +1,58 @@
+package ssj
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Proportionality quantifies how energy-proportional a server is from its
+// SPECpower-style ladder, following the metrics of Ryckbosch, Polfliet &
+// Eeckhout ("Trends in server energy proportionality", cited in the
+// paper's related work): an ideal server draws power proportional to
+// load, P_ideal(ℓ) = ℓ·P_peak.
+type Proportionality struct {
+	Server string
+	// DynamicRange is 1 − P_activeidle/P_peak: the fraction of peak power
+	// the machine can shed at zero load.
+	DynamicRange float64
+	// EP is the energy-proportionality score 1 − (A_actual − A_ideal) /
+	// A_ideal, where A is the area under the power-vs-load curve; 1 is
+	// perfectly proportional, 0 is a flat (load-independent) power draw.
+	EP float64
+	// IdlePowerFrac is P_activeidle / P_peak.
+	IdlePowerFrac float64
+}
+
+// Proportion computes the metrics from a completed run.
+func Proportion(r *Result) (Proportionality, error) {
+	if len(r.Phases) < 4 {
+		return Proportionality{}, fmt.Errorf("ssj: result has no load ladder")
+	}
+	// Collect (load, watts) from the target-load phases plus active idle,
+	// sorted by load.
+	type pt struct{ load, watts float64 }
+	pts := []pt{{0, r.ActiveIdleWatts}}
+	for _, p := range r.Phases[3:] {
+		pts = append(pts, pt{p.TargetLoad, p.Watts})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].load < pts[j].load })
+	peak := pts[len(pts)-1].watts
+	if peak <= 0 {
+		return Proportionality{}, fmt.Errorf("ssj: non-positive peak power")
+	}
+
+	// Trapezoidal areas under actual and ideal power-vs-load curves.
+	var actual, ideal float64
+	for i := 1; i < len(pts); i++ {
+		dl := pts[i].load - pts[i-1].load
+		actual += dl * (pts[i].watts + pts[i-1].watts) / 2
+		ideal += dl * (pts[i].load + pts[i-1].load) / 2 * peak
+	}
+	ep := 1 - (actual-ideal)/ideal
+	return Proportionality{
+		Server:        r.Server,
+		DynamicRange:  1 - r.ActiveIdleWatts/peak,
+		EP:            ep,
+		IdlePowerFrac: r.ActiveIdleWatts / peak,
+	}, nil
+}

@@ -1,0 +1,40 @@
+package ssj
+
+import (
+	"testing"
+
+	"powerbench/internal/server"
+)
+
+func TestProportionalityMetrics(t *testing.T) {
+	for _, spec := range server.All() {
+		r, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Proportion(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2008-era servers are famously non-proportional: high idle power,
+		// EP well below 1 (Ryckbosch et al. report ≈0.2-0.6 for the era).
+		if p.IdlePowerFrac < 0.5 {
+			t.Errorf("%s: idle/peak %.3f implausibly proportional for 2008 hardware", spec.Name, p.IdlePowerFrac)
+		}
+		if p.EP <= 0 || p.EP >= 0.8 {
+			t.Errorf("%s: EP score %.3f outside the era's plausible band", spec.Name, p.EP)
+		}
+		if p.DynamicRange <= 0 || p.DynamicRange >= 0.5 {
+			t.Errorf("%s: dynamic range %.3f outside plausible band", spec.Name, p.DynamicRange)
+		}
+		if p.DynamicRange+p.IdlePowerFrac < 0.999 || p.DynamicRange+p.IdlePowerFrac > 1.001 {
+			t.Errorf("%s: range + idle frac should be 1", spec.Name)
+		}
+	}
+}
+
+func TestProportionErrors(t *testing.T) {
+	if _, err := Proportion(&Result{}); err == nil {
+		t.Error("empty result should error")
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func phasedModel() Model {
+	return Model{
+		Name: "phased", Processes: 2, DurationSec: 100, Char: CharHPL,
+		Phases: []Phase{
+			{Frac: 0.5, Intensity: 1.2},
+			{Frac: 0.5, Intensity: 0.8},
+		},
+	}
+}
+
+func TestPhaseIntensityAt(t *testing.T) {
+	m := phasedModel()
+	if got := m.PhaseIntensityAt(0.25); got != 1.2 {
+		t.Errorf("first half intensity = %v", got)
+	}
+	if got := m.PhaseIntensityAt(0.75); got != 0.8 {
+		t.Errorf("second half intensity = %v", got)
+	}
+	if got := m.PhaseIntensityAt(1.5); got != 0.8 {
+		t.Errorf("past-end intensity = %v (should clamp to last phase)", got)
+	}
+	unphased := Model{Name: "x", Char: CharEP}
+	if got := unphased.PhaseIntensityAt(0.5); got != 1 {
+		t.Errorf("unphased intensity = %v", got)
+	}
+}
+
+func TestValidatePhases(t *testing.T) {
+	good := phasedModel()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid phased model rejected: %v", err)
+	}
+	bad := []Model{
+		{Name: "a", Char: CharEP, Phases: []Phase{{Frac: 0.5, Intensity: 1}}},                             // fractions don't cover
+		{Name: "b", Char: CharEP, Phases: []Phase{{Frac: 1, Intensity: 2}}},                               // mean far from 1
+		{Name: "c", Char: CharEP, Phases: []Phase{{Frac: 0, Intensity: 1}, {Frac: 1, Intensity: 1}}},      // zero-width phase
+		{Name: "d", Char: CharEP, Phases: []Phase{{Frac: 0.5, Intensity: -1}, {Frac: 0.5, Intensity: 3}}}, // negative intensity
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %s should fail phase validation", m.Name)
+		}
+	}
+}
+
+// Property: phase intensities integrate back to ≈1 over the run for any
+// model that passes validation.
+func TestPropertyPhaseIntegralIsOne(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.1 + 0.8*float64(aRaw%100)/100 // first-phase fraction
+		iA := 0.5 + float64(bRaw%100)/100    // first-phase intensity 0.5..1.5
+		// Choose the second phase so the weighted mean is exactly 1.
+		iB := (1 - a*iA) / (1 - a)
+		if iB < 0 {
+			return true
+		}
+		m := Model{Name: "p", Char: CharEP, Phases: []Phase{
+			{Frac: a, Intensity: iA}, {Frac: 1 - a, Intensity: iB},
+		}}
+		if err := m.ValidatePhases(); err != nil {
+			return false
+		}
+		const steps = 2000
+		var integral float64
+		for i := 0; i < steps; i++ {
+			integral += m.PhaseIntensityAt((float64(i) + 0.5) / steps)
+		}
+		integral /= steps
+		return math.Abs(integral-1) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
