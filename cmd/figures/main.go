@@ -4,22 +4,28 @@
 //
 // Usage:
 //
-//	figures [-only id] [-out dir] [-seed n]
+//	figures [-only id] [-out dir] [-seed n] [-chart]
+//	        [-v] [-q] [-metrics-out file] [-trace-out file]
 //
 // Artifact ids: table1, fig1, fig2, fig3, fig4, table2, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, table3, table4, table5, table6, orderings,
 // table7, table8, fig12, fig13, r2. The regression artifacts (table7
 // onward) train the HPCC model, which takes a few seconds.
+//
+// -v narrates progress on stderr; -metrics-out and -trace-out export the
+// run's telemetry (JSON metrics snapshot and Chrome trace_event file).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"powerbench/internal/core"
 	"powerbench/internal/npb"
+	"powerbench/internal/obs"
 	"powerbench/internal/report"
 	"powerbench/internal/server"
 )
@@ -43,12 +49,20 @@ func tableArtifact(t *report.Table, err error) (fmt.Stringer, string, error) {
 	return t, t.TSV(), nil
 }
 
-func main() {
-	only := flag.String("only", "", "regenerate a single artifact id (default: all)")
-	outDir := flag.String("out", "", "directory for TSV output files")
-	seed := flag.Float64("seed", 1, "simulation seed")
-	chart := flag.Bool("chart", false, "render single-series figures as ASCII bar charts")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "regenerate a single artifact id (default: all)")
+	outDir := fs.String("out", "", "directory for TSV output files")
+	seed := fs.Float64("seed", 1, "simulation seed")
+	chart := fs.Bool("chart", false, "render single-series figures as ASCII bar charts")
+	var cli obs.CLI
+	cli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	o := cli.NewObs(stdout, stderr)
+	log := o.Log
 
 	// The regression artifacts share one trained model and its
 	// verifications; train lazily.
@@ -59,7 +73,7 @@ func main() {
 			return trained, nil
 		}
 		var err error
-		trained, err = core.TrainPowerModel(server.Xeon4870(), seed)
+		trained, err = core.TrainPowerModelWithObs(server.Xeon4870(), seed, o)
 		return trained, err
 	}
 	verify := func(seed float64, class npb.Class) (*core.VerificationResult, error) {
@@ -81,7 +95,7 @@ func main() {
 		if err != nil {
 			return nil, "", err
 		}
-		ev, err := core.Evaluate(spec, seed)
+		ev, err := core.EvaluateWithObs(spec, seed, o)
 		if err != nil {
 			return nil, "", err
 		}
@@ -134,7 +148,7 @@ func main() {
 		{"table5", func(s float64) (fmt.Stringer, string, error) { return evalTable("Opteron-8347", "Table V", s) }},
 		{"table6", func(s float64) (fmt.Stringer, string, error) { return evalTable("Xeon-4870", "Table VI", s) }},
 		{"orderings", func(s float64) (fmt.Stringer, string, error) {
-			c, err := core.Compare(server.All(), s)
+			c, err := core.CompareWithObs(server.All(), s, o)
 			if err != nil {
 				return nil, "", err
 			}
@@ -198,9 +212,9 @@ func main() {
 
 	if *only == "list" {
 		for _, a := range artifacts {
-			fmt.Println(a.id)
+			log.Reportf("%s\n", a.id)
 		}
-		return
+		return 0
 	}
 	ran := false
 	for _, a := range artifacts {
@@ -208,10 +222,11 @@ func main() {
 			continue
 		}
 		ran = true
+		o.Infof("generating %s", a.id)
 		art, tsv, err := a.run(*seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", a.id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", a.id, err)
+			return 1
 		}
 		rendered := art.String()
 		if *chart {
@@ -221,17 +236,22 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("=== %s ===\n%s\n", a.id, rendered)
+		log.Reportf("=== %s ===\n%s\n", a.id, rendered)
 		if *outDir != "" {
 			path := filepath.Join(*outDir, a.id+".tsv")
 			if err := os.WriteFile(path, []byte(tsv), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", a.id, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "%s: %v\n", a.id, err)
+				return 1
 			}
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown artifact %q\n", *only)
+		return 1
 	}
+	return cli.Flush(o, stderr)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

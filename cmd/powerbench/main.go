@@ -5,22 +5,38 @@
 // Usage:
 //
 //	powerbench [-server name] [-compare] [-seed n]
+//	           [-v] [-q] [-metrics-out file] [-trace-out file]
+//
+// -v enables progress diagnostics on stderr (-v -v for debug detail) and
+// -q silences the report itself. -metrics-out writes a JSON snapshot of
+// every pipeline metric; -trace-out writes a Chrome trace_event file that
+// opens in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"powerbench/internal/core"
+	"powerbench/internal/obs"
 	"powerbench/internal/server"
 )
 
-func main() {
-	serverName := flag.String("server", "", "server to evaluate (Xeon-E5462, Opteron-8347, Xeon-4870); empty = all")
-	compare := flag.Bool("compare", false, "also run the Green500 and SPECpower comparisons")
-	seed := flag.Float64("seed", 1, "simulation seed")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powerbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serverName := fs.String("server", "", "server to evaluate (Xeon-E5462, Opteron-8347, Xeon-4870); empty = all")
+	compare := fs.Bool("compare", false, "also run the Green500 and SPECpower comparisons")
+	seed := fs.Float64("seed", 1, "simulation seed")
+	var cli obs.CLI
+	cli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	o := cli.NewObs(stdout, stderr)
+	log := o.Log
 
 	var specs []*server.Spec
 	if *serverName == "" {
@@ -28,8 +44,8 @@ func main() {
 	} else {
 		s, err := server.ByName(*serverName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		specs = []*server.Spec{s}
 	}
@@ -38,35 +54,41 @@ func main() {
 		"Xeon-E5462": "Table IV", "Opteron-8347": "Table V", "Xeon-4870": "Table VI",
 	}
 	for i, spec := range specs {
-		ev, err := core.Evaluate(spec, *seed+float64(i))
+		ev, err := core.EvaluateWithObs(spec, *seed+float64(i), o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "evaluate:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "evaluate:", err)
+			return 1
 		}
 		name := tableNames[spec.Name]
 		if name == "" {
 			name = "Evaluation"
 		}
-		fmt.Println(core.EvaluationTable(ev, name))
+		log.Reportf("%s\n", core.EvaluationTable(ev, name))
 		if paper, ok := core.PaperScores[spec.Name]; ok {
-			fmt.Printf("paper-printed score: %.4f (see EXPERIMENTS.md on the Xeon-E5462 figure)\n", paper)
+			log.Reportf("paper-printed score: %.4f (see EXPERIMENTS.md on the Xeon-E5462 figure)\n", paper)
 		}
-		fmt.Println()
+		log.Reportf("\n")
 	}
 
 	if *compare {
-		c, err := core.Compare(specs, *seed+100)
+		c, err := core.CompareWithObs(specs, *seed+100, o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "compare:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "compare:", err)
+			return 1
 		}
-		fmt.Println("Method comparison (§V-C3):")
+		log.Reportf("Method comparison (§V-C3):\n")
 		for i, name := range c.Servers {
-			fmt.Printf("  %-14s ours=%.4f  green500=%.4f  specpower=%.1f\n",
+			log.Reportf("  %-14s ours=%.4f  green500=%.4f  specpower=%.1f\n",
 				name, c.Ours[i], c.Green500[i], c.SPECpower[i])
 		}
-		fmt.Printf("  ours ordering:      %v\n", core.Ranking(c.Servers, c.Ours))
-		fmt.Printf("  green500 ordering:  %v\n", core.Ranking(c.Servers, c.Green500))
-		fmt.Printf("  specpower ordering: %v\n", core.Ranking(c.Servers, c.SPECpower))
+		log.Reportf("  ours ordering:      %v\n", core.Ranking(c.Servers, c.Ours))
+		log.Reportf("  green500 ordering:  %v\n", core.Ranking(c.Servers, c.Green500))
+		log.Reportf("  specpower ordering: %v\n", core.Ranking(c.Servers, c.SPECpower))
 	}
+
+	return cli.Flush(o, stderr)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

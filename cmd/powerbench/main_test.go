@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunDefaultOutputUnchangedByTelemetry: enabling the exporters must not
+// perturb the report stream — the tables are byte-identical with and
+// without -metrics-out/-trace-out.
+func TestRunDefaultOutputUnchangedByTelemetry(t *testing.T) {
+	var plain, instrumented, stderr bytes.Buffer
+	if rc := run([]string{"-server", "Xeon-E5462"}, &plain, &stderr); rc != 0 {
+		t.Fatalf("plain run failed rc=%d: %s", rc, stderr.String())
+	}
+	dir := t.TempDir()
+	args := []string{
+		"-server", "Xeon-E5462",
+		"-metrics-out", filepath.Join(dir, "m.json"),
+		"-trace-out", filepath.Join(dir, "t.json"),
+	}
+	stderr.Reset()
+	if rc := run(args, &instrumented, &stderr); rc != 0 {
+		t.Fatalf("instrumented run failed rc=%d: %s", rc, stderr.String())
+	}
+	if plain.String() != instrumented.String() {
+		t.Errorf("telemetry flags changed the report output:\n--- plain ---\n%s\n--- instrumented ---\n%s",
+			plain.String(), instrumented.String())
+	}
+	if !strings.Contains(plain.String(), "Table IV") {
+		t.Errorf("report missing the evaluation table:\n%s", plain.String())
+	}
+}
+
+// TestRunQuietAndVerbose: -q drops the report, -v narrates on stderr.
+func TestRunQuietAndVerbose(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-server", "Xeon-E5462", "-q", "-v"}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-q should silence stdout, got:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "info: evaluating Xeon-E5462") {
+		t.Errorf("-v should narrate on stderr, got:\n%s", stderr.String())
+	}
+}
+
+// chromeEvent mirrors the trace_event fields the validation needs.
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Tid   int64   `json:"tid"`
+}
+
+// TestRunTraceOut is the acceptance check for the trace exporter: the
+// emitted Chrome trace has at least one span per evaluation state and per
+// program run, strictly matched B/E pairs, and non-decreasing timestamps.
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-server", "Xeon-E5462", "-q", "-trace-out", tracePath}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	events := trace.TraceEvents
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	states, runs := 0, 0
+	stacks := map[int64][]string{}
+	lastTS := events[0].TS
+	for i, e := range events {
+		if e.TS < lastTS {
+			t.Fatalf("event %d: ts %v decreases below %v", i, e.TS, lastTS)
+		}
+		lastTS = e.TS
+		switch e.Phase {
+		case "B":
+			stacks[e.Tid] = append(stacks[e.Tid], e.Name)
+			if strings.HasPrefix(e.Name, "state ") {
+				states++
+			}
+			if strings.HasPrefix(e.Name, "run ") {
+				runs++
+			}
+		case "E":
+			st := stacks[e.Tid]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q with no open span on tid %d", i, e.Name, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				t.Fatalf("event %d: E %q does not match open span %q", i, e.Name, top)
+			}
+			stacks[e.Tid] = st[:len(st)-1]
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Phase)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d: unclosed spans %v", tid, st)
+		}
+	}
+	// The Xeon-E5462 plan is idle + 9 reference states: well past the
+	// "at least one span per state (5 states minimum)" acceptance bar.
+	if states < 5 {
+		t.Errorf("want >=5 state spans, got %d", states)
+	}
+	if runs < states {
+		t.Errorf("every state executes as a program run: want >=%d run spans, got %d", states, runs)
+	}
+}
+
+// TestRunMetricsOut: the JSON snapshot round-trips and carries the pipeline
+// counters and the score gauge.
+func TestRunMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-server", "Xeon-E5462", "-q", "-metrics-out", metricsPath}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics []struct {
+			Name  string            `json:"name"`
+			Type  string            `json:"type"`
+			Value float64           `json:"value,omitempty"`
+			Label map[string]string `json:"labels,omitempty"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m.Value
+	}
+	for _, want := range []string{
+		"sim_runs_total", "sim_meter_samples_total",
+		"core_window_samples_total", "core_trim_dropped_samples_total",
+		"core_score",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+	if v := byName["sim_runs_total"]; v < 5 {
+		t.Errorf("sim_runs_total = %v, want >= 5", v)
+	}
+	if v := byName["core_trim_dropped_samples_total"]; v <= 0 {
+		t.Errorf("trim counter should record dropped samples, got %v", v)
+	}
+}
+
+// TestRunBadFlags: unknown server and unparsable flags exit non-zero.
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-server", "does-not-exist"}, &stdout, &stderr); rc == 0 {
+		t.Error("unknown server should fail")
+	}
+	if rc := run([]string{"-seed", "not-a-number"}, &stdout, &stderr); rc != 2 {
+		t.Error("bad flag should return usage error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // SubComm is a communicator over a subset of a World's ranks, created by
@@ -122,6 +123,11 @@ func (s *SubComm) Send(dst, tag int, data any) {
 	s.parent.Send(s.members[dst], s.tag(tag), data)
 }
 
+// opSend is Send with traffic attributed to a collective class.
+func (s *SubComm) opSend(k opKind, dst, tag int, data any) {
+	s.parent.opSend(k, s.members[dst], s.tag(tag), data)
+}
+
 // Recv receives from sub-rank src with the given tag.
 func (s *SubComm) Recv(src, tag int) any {
 	return s.parent.Recv(s.members[src], s.tag(tag))
@@ -142,6 +148,7 @@ const (
 // Bcast distributes root's buf to every member; non-root members return
 // the received slice.
 func (s *SubComm) Bcast(root int, buf []float64) []float64 {
+	defer s.parent.world.opEnter(opBcast)()
 	if s.Size() == 1 {
 		return buf
 	}
@@ -150,7 +157,7 @@ func (s *SubComm) Bcast(root int, buf []float64) []float64 {
 			if r == root {
 				continue
 			}
-			s.Send(r, subTagBcast, append([]float64(nil), buf...))
+			s.opSend(opBcast, r, subTagBcast, append([]float64(nil), buf...))
 		}
 		return buf
 	}
@@ -159,11 +166,12 @@ func (s *SubComm) Bcast(root int, buf []float64) []float64 {
 
 // Allreduce combines contributions element-wise across the members.
 func (s *SubComm) Allreduce(contrib []float64, op Op) []float64 {
+	defer s.parent.world.opEnter(opAllreduce)()
 	if s.Size() == 1 {
 		return append([]float64(nil), contrib...)
 	}
 	if s.myIdx != 0 {
-		s.Send(0, subTagReduce, append([]float64(nil), contrib...))
+		s.opSend(opAllreduce, 0, subTagReduce, append([]float64(nil), contrib...))
 		return s.RecvFloat64s(0, subTagAllreduce)
 	}
 	acc := append([]float64(nil), contrib...)
@@ -171,7 +179,7 @@ func (s *SubComm) Allreduce(contrib []float64, op Op) []float64 {
 		applyOp(op, acc, s.RecvFloat64s(r, subTagReduce))
 	}
 	for r := 1; r < s.Size(); r++ {
-		s.Send(r, subTagAllreduce, append([]float64(nil), acc...))
+		s.opSend(opAllreduce, r, subTagAllreduce, append([]float64(nil), acc...))
 	}
 	return acc
 }
@@ -180,20 +188,24 @@ func (s *SubComm) Allreduce(contrib []float64, op Op) []float64 {
 // sub-rank 0 over the parent's channels, so concurrent sub-communicators
 // never interfere).
 func (s *SubComm) Barrier() {
+	w := s.parent.world
+	t0 := time.Now()
+	defer func() { w.ops[opBarrier].nanos.Add(time.Since(t0).Nanoseconds()) }()
 	if s.Size() == 1 {
 		return
 	}
 	token := []float64{1}
 	if s.myIdx != 0 {
-		s.Send(0, subTagBarrier, token)
+		s.opSend(opBarrier, 0, subTagBarrier, token)
 		s.Recv(0, subTagBarrier)
 		return
 	}
 	for r := 1; r < s.Size(); r++ {
 		s.Recv(r, subTagBarrier)
 	}
+	w.ops[opBarrier].calls.Add(1) // one completed sub-communicator barrier
 	for r := 1; r < s.Size(); r++ {
-		s.Send(r, subTagBarrier, token)
+		s.opSend(opBarrier, r, subTagBarrier, token)
 	}
 }
 

@@ -1,0 +1,104 @@
+package comm
+
+import "testing"
+
+// TestStatsPerCollective pins the accounting of each collective on a world
+// of 4: message and byte counts follow directly from the flat protocols
+// (root sends size-1 copies; reduce is size-1 contributions to root).
+func TestStatsPerCollective(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	w.Run(func(c *Comm) {
+		buf := []float64{1, 2, 3} // 24 bytes
+		c.Bcast(0, buf)
+		c.Reduce(0, buf, OpSum)
+		c.Allreduce(buf, OpMax)
+		c.Gather(0, buf)
+		c.Scatter(0, [][]float64{{1}, {2}, {3}, {4}})
+		c.Alltoall([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+		c.Barrier()
+	})
+	s := w.Stats()
+
+	check := func(name string, got OpStats, calls, msgs, bytes int64) {
+		t.Helper()
+		if got.Calls != calls || got.Messages != msgs || got.Bytes != bytes {
+			t.Errorf("%s = {Calls:%d Messages:%d Bytes:%d}, want {%d %d %d}",
+				name, got.Calls, got.Messages, got.Bytes, calls, msgs, bytes)
+		}
+	}
+	check("Bcast", s.Bcast, p, p-1, (p-1)*24)
+	check("Reduce", s.Reduce, p, p-1, (p-1)*24)
+	// Allreduce: reduce-to-0 (p-1 msgs) plus fan-out (p-1 msgs).
+	check("Allreduce", s.Allreduce, p, 2*(p-1), 2*(p-1)*24)
+	check("Gather", s.Gather, p, p-1, (p-1)*24)
+	check("Scatter", s.Scatter, p, p-1, (p-1)*8)
+	// Alltoall: every rank sends p-1 parts of 2 floats.
+	check("Alltoall", s.Alltoall, p, p*(p-1), int64(p*(p-1)*16))
+
+	if s.Barrier.Calls != 1 {
+		t.Errorf("Barrier.Calls = %d, want 1 completed synchronization", s.Barrier.Calls)
+	}
+	if s.PointToPoint.Messages != 0 || s.PointToPoint.Bytes != 0 {
+		t.Errorf("no user p2p traffic expected, got %+v", s.PointToPoint)
+	}
+	var collective int64
+	for _, op := range []OpStats{s.Barrier, s.Bcast, s.Reduce, s.Allreduce, s.Gather, s.Scatter, s.Alltoall} {
+		collective += op.Messages
+	}
+	if s.TotalMessages != collective {
+		t.Errorf("TotalMessages %d != sum of per-op messages %d", s.TotalMessages, collective)
+	}
+	if s.TotalMessages != w.Messages() || s.TotalBytes != w.Bytes() {
+		t.Errorf("Stats totals disagree with legacy aggregates: %+v vs %d/%d",
+			s, w.Messages(), w.Bytes())
+	}
+}
+
+// TestStatsPointToPointDerivation: direct sends land in the derived
+// PointToPoint bucket, not in any collective.
+func TestStatsPointToPoint(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3, 4}) // 32 bytes
+		} else {
+			c.RecvFloat64s(0, 7)
+		}
+	})
+	s := w.Stats()
+	if s.PointToPoint.Messages != 1 || s.PointToPoint.Bytes != 32 {
+		t.Errorf("PointToPoint = %+v, want 1 msg / 32 bytes", s.PointToPoint)
+	}
+	if s.Bcast.Messages != 0 || s.Allreduce.Messages != 0 {
+		t.Errorf("collective buckets should be empty: %+v", s)
+	}
+}
+
+// TestStatsSubComm: sub-communicator collectives are attributed to the same
+// per-collective buckets as world collectives, and sub-barriers count.
+func TestStatsSubComm(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		// Two sub-communicators of 2 ranks each (rows of a 2x2 grid).
+		row := c.Split(c.Rank()/2, c.Rank()%2)
+		row.Bcast(0, []float64{1, 2}) // root sends 1 msg of 16 bytes per row
+		row.Allreduce([]float64{1}, OpSum)
+		row.Barrier()
+	})
+	s := w.Stats()
+	if s.Bcast.Messages != 2 || s.Bcast.Bytes != 32 {
+		t.Errorf("sub Bcast = %+v, want 2 msgs / 32 bytes", s.Bcast)
+	}
+	// Per row: 1 contribution in, 1 result out.
+	if s.Allreduce.Messages != 4 {
+		t.Errorf("sub Allreduce messages = %d, want 4", s.Allreduce.Messages)
+	}
+	// Split performs two world barriers; each row barrier adds one more.
+	if s.Barrier.Calls != 2+2 {
+		t.Errorf("Barrier.Calls = %d, want 4 (2 split + 2 row barriers)", s.Barrier.Calls)
+	}
+	if s.PointToPoint.Messages != 0 {
+		t.Errorf("unexpected p2p traffic: %+v", s.PointToPoint)
+	}
+}

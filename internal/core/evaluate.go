@@ -14,6 +14,7 @@ import (
 	"powerbench/internal/hpl"
 	"powerbench/internal/meter"
 	"powerbench/internal/npb"
+	"powerbench/internal/obs"
 	"powerbench/internal/server"
 	"powerbench/internal/sim"
 	"powerbench/internal/ssj"
@@ -133,11 +134,33 @@ func PlanStates(spec *server.Spec) ([]workload.Model, error) {
 // simulation engine (meter logging throughout), run the analysis pipeline
 // per program, and compute the PPW score.
 func Evaluate(spec *server.Spec, seed float64) (*Evaluation, error) {
+	return EvaluateWithObs(spec, seed, nil)
+}
+
+// trimmedCount returns how many samples the paper's 10% head/tail trim
+// drops from a window of n samples (mirrors stats.Trim's floor-and-guard).
+func trimmedCount(n int) int {
+	cut := int(math.Floor(float64(n) * TrimFrac))
+	if 2*cut >= n {
+		return 0
+	}
+	return 2 * cut
+}
+
+// EvaluateWithObs is Evaluate with telemetry: a span per evaluation and one
+// per Table III state window (on the virtual clock), plus counters for the
+// samples the analysis trim drops. A nil Obs makes it identical to Evaluate.
+func EvaluateWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Evaluation, error) {
+	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed)
+	defer sp.End()
+	o.Infof("evaluating %s (seed %g)", spec.Name, seed)
+
 	models, err := PlanStates(spec)
 	if err != nil {
 		return nil, err
 	}
 	engine := sim.New(spec, seed)
+	engine.Obs = o
 	results, merged, err := engine.RunSequence(models, 30)
 	if err != nil {
 		return nil, err
@@ -145,7 +168,13 @@ func Evaluate(spec *server.Spec, seed float64) (*Evaluation, error) {
 
 	ev := &Evaluation{Server: spec.Name}
 	var sumG, sumW, sumPPW float64
+	analysis := sp.Child("analysis")
 	for _, r := range results {
+		state := analysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
+		window := meter.Window(merged, r.Start, r.End)
+		dropped := trimmedCount(len(window))
+		o.Counter("core_window_samples_total").Add(int64(len(window)))
+		o.Counter("core_trim_dropped_samples_total").Add(int64(dropped))
 		watts := AveragePower(merged, r.Start, r.End)
 		row := Row{
 			Program:     r.Model.Name,
@@ -159,11 +188,17 @@ func Evaluate(spec *server.Spec, seed float64) (*Evaluation, error) {
 		sumG += row.GFLOPS
 		sumW += row.Watts
 		sumPPW += row.PPW
+		state.Arg("watts", watts).Arg("samples", len(window)).Arg("trim_dropped", dropped).End()
+		o.Debugf("state %s: %.1f W over %d samples (%d trimmed)",
+			r.Model.Name, watts, len(window), dropped)
 	}
+	analysis.End()
 	n := float64(len(ev.Rows))
 	ev.AvgGFLOPS = sumG / n
 	ev.AvgWatts = sumW / n
 	ev.Score = sumPPW / n
+	o.Gauge("core_score", obs.L("server", spec.Name)).Set(ev.Score)
+	o.Infof("evaluated %s: score %.4f over %d states", spec.Name, ev.Score, len(ev.Rows))
 	return ev, nil
 }
 
@@ -189,11 +224,19 @@ type Green500Result struct {
 // HPL configured for peak performance (full cores, full memory), and
 // divide Rmax by the average power, ignoring the first and last samples.
 func Green500(spec *server.Spec, seed float64) (*Green500Result, error) {
+	return Green500WithObs(spec, seed, nil)
+}
+
+// Green500WithObs is Green500 with a span around the Rmax run.
+func Green500WithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Green500Result, error) {
+	sp := o.Span("green500 "+spec.Name, "evaluate")
+	defer sp.End()
 	m, err := hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
 	if err != nil {
 		return nil, err
 	}
 	engine := sim.New(spec, seed)
+	engine.Obs = o
 	run, err := engine.Run(m, 0)
 	if err != nil {
 		return nil, err
@@ -218,17 +261,27 @@ type Comparison struct {
 
 // Compare evaluates every server under all three methods.
 func Compare(specs []*server.Spec, seed float64) (*Comparison, error) {
+	return CompareWithObs(specs, seed, nil)
+}
+
+// CompareWithObs is Compare with a span per server and per method.
+func CompareWithObs(specs []*server.Spec, seed float64, o *obs.Obs) (*Comparison, error) {
+	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs))
+	defer cmpSpan.End()
 	c := &Comparison{}
 	for i, spec := range specs {
-		ev, err := Evaluate(spec, seed+float64(i))
+		o.Infof("comparing methods on %s", spec.Name)
+		ev, err := EvaluateWithObs(spec, seed+float64(i), o)
 		if err != nil {
 			return nil, fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := Green500(spec, seed+float64(i)+0.5)
+		g, err := Green500WithObs(spec, seed+float64(i)+0.5, o)
 		if err != nil {
 			return nil, err
 		}
+		ssjSpan := cmpSpan.Child("specpower " + spec.Name)
 		sp, err := ssj.Run(spec)
+		ssjSpan.End()
 		if err != nil {
 			return nil, err
 		}

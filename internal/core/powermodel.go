@@ -7,6 +7,7 @@ import (
 
 	"powerbench/internal/hpcc"
 	"powerbench/internal/npb"
+	"powerbench/internal/obs"
 	"powerbench/internal/pmu"
 	"powerbench/internal/regression"
 	"powerbench/internal/server"
@@ -52,24 +53,39 @@ func collectRun(engine *sim.Engine, m workload.Model) ([][]float64, []float64, e
 // normalize to unify dimensions, and fit the power regression by forward
 // stepwise selection.
 func TrainPowerModel(spec *server.Spec, seed float64) (*TrainingResult, error) {
+	return TrainPowerModelWithObs(spec, seed, nil)
+}
+
+// TrainPowerModelWithObs is TrainPowerModel with telemetry: a span per
+// training program, an observation counter, and a span around the stepwise
+// fit. A nil Obs makes it identical to TrainPowerModel.
+func TrainPowerModelWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*TrainingResult, error) {
+	sp := o.Span("train "+spec.Name, "regression").Arg("seed", seed)
+	defer sp.End()
 	models, err := hpcc.TrainingModels(spec)
 	if err != nil {
 		return nil, err
 	}
 	engine := sim.New(spec, seed)
+	engine.Obs = o
 	var xs [][]float64
 	var ys []float64
 	for _, m := range models {
+		runSpan := sp.Child("collect " + m.Name)
 		x, y, err := collectRun(engine, m)
 		if err != nil {
+			runSpan.End()
 			return nil, fmt.Errorf("core: training on %s: %w", m.Name, err)
 		}
+		runSpan.Arg("observations", len(x)).End()
+		o.Counter("core_training_observations_total").Add(int64(len(x)))
 		xs = append(xs, x...)
 		ys = append(ys, y...)
 	}
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: training produced no observations")
 	}
+	o.Infof("training %s: %d observations from %d HPCC training runs", spec.Name, len(xs), len(models))
 
 	norms, err := stats.NormalizeColumns(xs)
 	if err != nil {
@@ -82,13 +98,16 @@ func TrainPowerModel(spec *server.Spec, seed float64) (*TrainingResult, error) {
 	// opposite coefficients in-sample and exploding on the NPB mix
 	// out-of-sample; λ = 1% of the observation count is a mild shrink on
 	// z-scored predictors.
+	fitSpan := sp.Child("stepwise fit")
 	sw, err := regression.ForwardStepwise(xs, zy, regression.StepwiseOptions{
 		MinImprovement: 1e-4,
 		RidgeLambda:    0.01 * float64(len(xs)),
 	})
+	fitSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	o.Gauge("core_training_r2", obs.L("server", spec.Name)).Set(sw.Model.Summary.RSquare)
 	return &TrainingResult{
 		Server:       spec.Name,
 		Summary:      sw.Model.Summary,

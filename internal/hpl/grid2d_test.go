@@ -28,6 +28,19 @@ func TestGrid2DSolves(t *testing.T) {
 		if cfg.p*cfg.q > 1 && r.Messages == 0 {
 			t.Errorf("%+v: no communication recorded", cfg)
 		}
+		// The per-collective breakdown must account for every message.
+		st := r.Stats
+		var perOp int64
+		for _, op := range []int64{
+			st.Barrier.Messages, st.Bcast.Messages, st.Reduce.Messages,
+			st.Allreduce.Messages, st.Gather.Messages, st.Scatter.Messages,
+			st.Alltoall.Messages, st.PointToPoint.Messages,
+		} {
+			perOp += op
+		}
+		if perOp != r.Messages || st.TotalMessages != r.Messages {
+			t.Errorf("%+v: per-op messages %d do not account for total %d", cfg, perOp, r.Messages)
+		}
 	}
 }
 
@@ -74,6 +87,28 @@ func TestGrid2DCommunicationStructure(t *testing.T) {
 	}
 	if r22.Bytes == 0 {
 		t.Error("2x2 grid should move bytes")
+	}
+	// Per-collective breakdown: the single-rank run records no traffic at
+	// all, while the 2x2 run is dominated by the panel/pivot broadcasts and
+	// the column-wide pivot allreduce, synchronized by per-block barriers.
+	z := r11.Stats
+	if z.TotalMessages != 0 || z.Bcast.Messages != 0 || z.Allreduce.Messages != 0 {
+		t.Errorf("single rank stats should be empty, got %+v", z)
+	}
+	st := r22.Stats
+	if st.Bcast.Messages == 0 || st.Bcast.Bytes == 0 {
+		t.Errorf("2x2 grid should broadcast panels, got %+v", st.Bcast)
+	}
+	if st.Allreduce.Messages == 0 {
+		t.Errorf("2x2 grid should allreduce pivot candidates, got %+v", st.Allreduce)
+	}
+	nBlocks := (96 + 16 - 1) / 16
+	if st.Barrier.Calls < int64(nBlocks) {
+		t.Errorf("2x2 grid should synchronize at least once per block (%d), got %d barriers",
+			nBlocks, st.Barrier.Calls)
+	}
+	if st.Bcast.Bytes+st.Allreduce.Bytes > st.TotalBytes {
+		t.Errorf("per-op bytes exceed total: %+v", st)
 	}
 }
 

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI bundles the observability command-line surface shared by the
+// repository's binaries: -metrics-out / -trace-out exporter paths and the
+// -v / -q verbosity pair. Register it on a FlagSet, build the run's Obs
+// with NewObs once flags are parsed, and Flush the exporter files when the
+// run completes.
+type CLI struct {
+	MetricsOut string
+	TraceOut   string
+	Verbosity  int
+	Quiet      bool
+}
+
+// Register installs the telemetry flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	fs.BoolVar(&c.Quiet, "q", false, "suppress normal report output")
+	fs.BoolFunc("v", "increase diagnostic verbosity (repeat for debug detail)", func(string) error {
+		c.Verbosity++
+		return nil
+	})
+}
+
+// NewObs builds the run's telemetry from the parsed flags. Report output
+// goes to stdout exactly as fmt.Print would (unless -q); Infof/Debugf
+// diagnostics go to stderr under -v/-vv.
+func (c *CLI) NewObs(stdout, stderr io.Writer) *Obs {
+	log := NewLogger(stdout, stderr, c.Verbosity)
+	log.SetQuiet(c.Quiet)
+	return &Obs{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(),
+		Log:     log,
+	}
+}
+
+// Flush writes the requested exporter files, reporting failures to stderr.
+// It returns a process exit code: 0 on success, 1 if any write failed.
+func (c *CLI) Flush(o *Obs, stderr io.Writer) int {
+	write := func(path string, fn func(io.Writer) error) int {
+		if path == "" {
+			return 0
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := fn(f)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", path, werr)
+			return 1
+		}
+		return 0
+	}
+	if rc := write(c.MetricsOut, func(w io.Writer) error { return WriteJSON(w, o) }); rc != 0 {
+		return rc
+	}
+	return write(c.TraceOut, func(w io.Writer) error { return WriteChromeTrace(w, o.Tracer) })
+}

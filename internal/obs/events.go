@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level classifies an event.
+type Level int8
+
+const (
+	// LevelReport is normal program output — the tables and result lines the
+	// CLIs have always printed. Report events render verbatim (no prefix, no
+	// timestamp) so default output stays byte-identical to the historical
+	// fmt.Printf stream; -q suppresses them.
+	LevelReport Level = iota
+	// LevelInfo is progress narration, shown with -v.
+	LevelInfo
+	// LevelDebug is detail, shown with -vv.
+	LevelDebug
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelReport:
+		return "report"
+	case LevelInfo:
+		return "info"
+	case LevelDebug:
+		return "debug"
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// Event is one structured log record.
+type Event struct {
+	Seq   int       `json:"seq"`
+	Wall  time.Time `json:"wall"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+}
+
+// Logger is a leveled event log. Report events go to out; info/debug
+// diagnostics go to diag with a level prefix. Verbosity selects what is
+// written: -1 (quiet) drops report lines, 0 is the historical default,
+// 1 adds info, 2 adds debug. Every emitted event is also retained in memory
+// (capped) so exporters can include the event history in JSON snapshots.
+// A nil Logger discards everything.
+type Logger struct {
+	mu        sync.Mutex
+	out, diag io.Writer
+	verbosity int
+	quiet     bool
+	seq       int
+	events    []Event
+}
+
+// maxRetainedEvents caps the in-memory event history.
+const maxRetainedEvents = 4096
+
+// NewLogger returns a logger writing report lines to out and diagnostics to
+// diag at the given verbosity.
+func NewLogger(out, diag io.Writer, verbosity int) *Logger {
+	return &Logger{out: out, diag: diag, verbosity: verbosity, quiet: verbosity < 0}
+}
+
+// SetQuiet suppresses report output without changing the diagnostic level,
+// so -q -v drops the tables while keeping the progress narration.
+func (l *Logger) SetQuiet(quiet bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.quiet = quiet
+}
+
+func (l *Logger) record(level Level, msg string) {
+	if len(l.events) < maxRetainedEvents {
+		l.seq++
+		l.events = append(l.events, Event{Seq: l.seq, Wall: time.Now(), Level: level.String(), Msg: msg})
+	}
+}
+
+// Reportf emits program output verbatim: the formatted string is written to
+// out exactly as fmt.Printf would have written it (call sites keep their own
+// newlines), unless the logger is quiet.
+func (l *Logger) Reportf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.record(LevelReport, msg)
+	if !l.quiet && l.out != nil {
+		io.WriteString(l.out, msg)
+	}
+}
+
+func (l *Logger) diagf(level Level, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.record(level, msg)
+	if int(level) <= l.verbosity && l.diag != nil {
+		fmt.Fprintf(l.diag, "%s: %s\n", level, msg)
+	}
+}
+
+// Infof emits a progress event (written with -v and above).
+func (l *Logger) Infof(format string, args ...any) { l.diagf(LevelInfo, format, args...) }
+
+// Debugf emits a detail event (written with -vv).
+func (l *Logger) Debugf(format string, args ...any) { l.diagf(LevelDebug, format, args...) }
+
+// Events returns a snapshot of the retained event history.
+func (l *Logger) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}

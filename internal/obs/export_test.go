@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition output: deterministic
+// ordering, label rendering, histogram bucket/sum/count lines.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("comm_messages_total", L("op", "bcast")).Add(12)
+	r.Counter("comm_messages_total", L("op", "allreduce")).Add(7)
+	r.Counter("sim_runs_total").Add(3)
+	r.Gauge("power_watts", L("server", "Xeon-E5462")).Set(231.5)
+	h := r.Histogram("collective_seconds", []float64{1, 10}, L("op", "barrier"))
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE collective_seconds histogram`,
+		`collective_seconds_bucket{op="barrier",le="1"} 1`,
+		`collective_seconds_bucket{op="barrier",le="10"} 2`,
+		`collective_seconds_bucket{op="barrier",le="+Inf"} 3`,
+		`collective_seconds_sum{op="barrier"} 55.5`,
+		`collective_seconds_count{op="barrier"} 3`,
+		`# TYPE comm_messages_total counter`,
+		`comm_messages_total{op="allreduce"} 7`,
+		`comm_messages_total{op="bcast"} 12`,
+		`# TYPE power_watts gauge`,
+		`power_watts{server="Xeon-E5462"} 231.5`,
+		`# TYPE sim_runs_total counter`,
+		`sim_runs_total 3`,
+		``,
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotJSONRoundTrip: WriteJSON → ParseSnapshot must reproduce the
+// snapshot exactly (schema round-trip of the JSON exporter).
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	o := New()
+	o.Counter("runs_total", L("server", "Opteron-8347")).Add(9)
+	o.Gauge("score").Set(0.0639)
+	h := o.Histogram("window_samples", []float64{10, 100})
+	h.Observe(42)
+	h.Observe(420)
+	o.Infof("evaluating %s", "Opteron-8347")
+
+	var b bytes.Buffer
+	if err := WriteJSON(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSnapshot(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.Metrics.Snapshot()
+	want.Events = o.Log.Events()
+	if !reflect.DeepEqual(parsed.Metrics, want.Metrics) {
+		t.Errorf("metrics round-trip mismatch:\n got %+v\nwant %+v", parsed.Metrics, want.Metrics)
+	}
+	if len(parsed.Events) != 1 || parsed.Events[0].Msg != "evaluating Opteron-8347" {
+		t.Errorf("events round-trip mismatch: %+v", parsed.Events)
+	}
+
+	if _, err := ParseSnapshot([]byte(`{"metrics":[{"name":"x","type":"bogus"}]}`)); err == nil {
+		t.Error("unknown metric type should fail to parse")
+	}
+	if _, err := ParseSnapshot([]byte(`{"metrics":[{"name":"bad name","type":"counter"}]}`)); err == nil {
+		t.Error("invalid metric name should fail to parse")
+	}
+}
+
+// ValidateChromeTrace checks the trace_event invariants the acceptance
+// criteria require: parseable JSON, non-decreasing ts, and per-track
+// stack-matched B/E pairs. Shared with the integration tests.
+func ValidateChromeTrace(t *testing.T, data []byte) []chromeEvent {
+	t.Helper()
+	var trace chromeTrace
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	stacks := map[int64][]string{}
+	var last int64
+	for i, e := range trace.TraceEvents {
+		if e.TS < last {
+			t.Fatalf("event %d: ts %d regresses below %d", i, e.TS, last)
+		}
+		last = e.TS
+		switch e.Ph {
+		case "B":
+			stacks[e.Tid] = append(stacks[e.Tid], e.Name)
+		case "E":
+			st := stacks[e.Tid]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q with no open B on tid %d", i, e.Name, e.Tid)
+			}
+			if st[len(st)-1] != e.Name {
+				t.Fatalf("event %d: E %q does not match open span %q", i, e.Name, st[len(st)-1])
+			}
+			stacks[e.Tid] = st[:len(st)-1]
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Ph)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("tid %d has unterminated spans %v", tid, st)
+		}
+	}
+	return trace.TraceEvents
+}
+
+func TestChromeTraceValid(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("evaluate", "evaluate")
+	root.Child("run idle").SetVirtual(0, 120).End()
+	run := root.Child("run HPL Mf")
+	run.Child("steady").SetVirtual(8, 852).End()
+	run.End()
+	root.End()
+	tr.Start("train", "regression").End()
+
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	events := ValidateChromeTrace(t, b.Bytes())
+	if len(events) != 10 {
+		t.Errorf("got %d events, want 10", len(events))
+	}
+	// The virtual clock must survive export.
+	found := false
+	for _, e := range events {
+		if e.Ph == "E" && e.Name == "steady" {
+			found = e.Args["sim_t0"] == 8.0 && e.Args["sim_t1"] == 852.0
+		}
+	}
+	if !found {
+		t.Error("steady span lost its sim_t0/sim_t1 args")
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzMetricName checks the validator's contract: any name it accepts must
+// be safe to emit in the Prometheus text format — non-empty, a single line,
+// no braces, no spaces — and must export as a line starting with the name
+// itself. Anything containing a forbidden character must be rejected.
+func FuzzMetricName(f *testing.F) {
+	for _, seed := range []string{
+		"comm_messages_total", "a:b", "_private", "",
+		"bad name", "new\nline", "br{ace", "ace}", "9lead", "é",
+		"x\x00y", "trailing_", "le", "# TYPE evil counter",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		err := ValidateMetricName(name)
+		if strings.ContainsAny(name, "\n\r{} \"\\#") || name == "" {
+			if err == nil {
+				t.Fatalf("ValidateMetricName(%q) accepted a forbidden name", name)
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		// Accepted names must round-trip through the exporter intact.
+		r := NewRegistry()
+		r.Counter(name).Add(1)
+		var b bytes.Buffer
+		if err := WritePrometheus(&b, r); err != nil {
+			t.Fatalf("export failed for accepted name %q: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("accepted name %q produced %d exposition lines: %q", name, len(lines), b.String())
+		}
+		if lines[0] != "# TYPE "+name+" counter" || lines[1] != name+" 1" {
+			t.Fatalf("accepted name %q corrupted the exposition: %q", name, b.String())
+		}
+	})
+}
+
+// FuzzLabel mirrors FuzzMetricName for label pairs: accepted labels must
+// never contain characters that break the unescaped exposition rendering.
+func FuzzLabel(f *testing.F) {
+	f.Add("op", "bcast")
+	f.Add("", "x")
+	f.Add("k", "")
+	f.Add("k", "a\nb")
+	f.Add("k", `with"quote`)
+	f.Add("k", "{}")
+	f.Fuzz(func(t *testing.T, key, value string) {
+		if err := ValidateLabel(Label{key, value}); err != nil {
+			return
+		}
+		if key == "" || value == "" {
+			t.Fatalf("empty label component accepted: %q=%q", key, value)
+		}
+		if strings.ContainsAny(key+value, "\n\r\"\\{}") {
+			t.Fatalf("forbidden character accepted in label %q=%q", key, value)
+		}
+	})
+}

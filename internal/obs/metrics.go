@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one dimension of a metric, e.g. {op, bcast}.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label at an instrumentation site.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// ValidateMetricName reports whether name is a legal metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*, the Prometheus exposition grammar. Newlines,
+// braces, spaces and the empty string are all rejected, so a valid name can
+// never corrupt the text format.
+func ValidateMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty metric name")
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return fmt.Errorf("obs: metric name %q starts with a digit", name)
+			}
+		default:
+			return fmt.Errorf("obs: metric name %q contains invalid rune %q", name, r)
+		}
+	}
+	return nil
+}
+
+// ValidateLabel checks a label pair: the key follows the metric-name grammar
+// without colons, and the value must be non-empty and free of newlines,
+// quotes, backslashes and braces so it can be emitted unescaped.
+func ValidateLabel(l Label) error {
+	if l.Key == "" {
+		return fmt.Errorf("obs: empty label key")
+	}
+	for i, r := range l.Key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return fmt.Errorf("obs: label key %q starts with a digit", l.Key)
+			}
+		default:
+			return fmt.Errorf("obs: label key %q contains invalid rune %q", l.Key, r)
+		}
+	}
+	if l.Value == "" {
+		return fmt.Errorf("obs: label %q has empty value", l.Key)
+	}
+	if strings.ContainsAny(l.Value, "\n\r\"\\{}") {
+		return fmt.Errorf("obs: label %q value %q contains a forbidden character", l.Key, l.Value)
+	}
+	return nil
+}
+
+// metricKey builds the registry key: name plus sorted label pairs. labels is
+// sorted in place by the caller-owned copy made in normalize.
+func metricKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// normalize validates and sorts a label set, returning a private copy.
+// Invalid names and labels panic: they are programmer errors at the
+// instrumentation site, exactly as in the Prometheus client library.
+func normalize(name string, labels []Label) []Label {
+	if err := ValidateMetricName(name); err != nil {
+		panic(err)
+	}
+	ls := append([]Label(nil), labels...)
+	for _, l := range ls {
+		if err := ValidateLabel(l); err != nil {
+			panic(err)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	for i := 1; i < len(ls); i++ {
+		if ls[i].Key == ls[i-1].Key {
+			panic(fmt.Errorf("obs: duplicate label key %q on metric %s", ls[i].Key, name))
+		}
+	}
+	return ls
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Add increments the counter by n (no-op on a nil counter).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a floating-point metric that can move in both directions.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by d via a CAS loop.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (zero on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+type Histogram struct {
+	name   string
+	labels []Label
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefaultLatencyBuckets suit sub-millisecond to multi-second spans (seconds).
+var DefaultLatencyBuckets = []float64{1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30}
+
+// Observe records v (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// counts[i] is the bucket for bounds[i]; the +Inf bucket is derived from
+	// count at export time.
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (zero on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (zero on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry holds every metric of one run. All methods are safe for
+// concurrent use; the get-or-create path takes a mutex, so instrumentation
+// sites that fire per-sample should hold on to the returned handle.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// Nil registries return a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := normalize(name, labels)
+	key := metricKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: ls}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := normalize(name, labels)
+	key := metricKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: ls}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket upper bounds on first use (later calls may pass nil buckets).
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := normalize(name, labels)
+	key := metricKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		if len(buckets) == 0 {
+			buckets = DefaultLatencyBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h = &Histogram{name: name, labels: ls, bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+		r.histograms[key] = h
+	}
+	return h
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records spans. Each root span opens a new track (Chrome-trace tid);
+// child spans share their parent's track, so the exported trace nests the way
+// the pipeline actually nests (evaluate → state run → ramp/steady phases).
+//
+// Spans carry two clocks: the wall clock (when the instrumented code actually
+// ran, microseconds since the tracer's epoch) and, optionally, the
+// simulation's virtual clock (server-clock seconds — "HPL steady phase,
+// simulated t=120..980 s" — set with SetVirtual). Begin/end events are
+// appended under one mutex with the timestamp taken inside the critical
+// section, so the event list is ordered by non-decreasing timestamp by
+// construction and exports sorted without a sort pass.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	events  []TraceEvent
+	nextTid int64
+}
+
+// TraceEvent is one begin ('B') or end ('E') record.
+type TraceEvent struct {
+	Name  string
+	Cat   string
+	Phase byte  // 'B' or 'E'
+	TS    int64 // microseconds since the tracer epoch
+	Tid   int64
+	Args  map[string]any // only on 'E' events, merged by trace viewers
+}
+
+// Span is an open interval of work. A nil span is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int64
+	args  map[string]any
+	ended bool
+}
+
+// NewTracer returns a tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+func (t *Tracer) begin(name, cat string, tid int64) {
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Phase: 'B',
+		TS:  time.Since(t.epoch).Microseconds(),
+		Tid: tid,
+	})
+	t.mu.Unlock()
+}
+
+// Start opens a root span on a fresh track. Nil tracers return a nil span.
+func (t *Tracer) Start(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextTid++
+	tid := t.nextTid
+	t.mu.Unlock()
+	t.begin(name, cat, tid)
+	return &Span{t: t, name: name, cat: cat, tid: tid}
+}
+
+// Child opens a sub-span on the parent's track. The child must End before
+// the parent for the B/E pairs to nest; the instrumented pipeline is
+// strictly call-structured, so this holds naturally.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.begin(name, s.cat, s.tid)
+	return &Span{t: s.t, name: name, cat: s.cat, tid: s.tid}
+}
+
+// SetVirtual records the span's interval on the simulation's virtual clock
+// (server-clock seconds), exported as sim_t0/sim_t1 args.
+func (s *Span) SetVirtual(t0, t1 float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Arg("sim_t0", t0)
+	s.Arg("sim_t1", t1)
+	return s
+}
+
+// Arg attaches a key/value pair to the span, emitted with its end event.
+func (s *Span) Arg(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+	return s
+}
+
+// End closes the span. Ending twice is a no-op, so defer sp.End() composes
+// with explicit early ends.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	t := s.t
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: s.name, Cat: s.cat, Phase: 'E',
+		TS:   time.Since(t.epoch).Microseconds(),
+		Tid:  s.tid,
+		Args: s.args,
+	})
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events in timestamp order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}

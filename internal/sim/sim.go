@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"powerbench/internal/meter"
+	"powerbench/internal/obs"
 	"powerbench/internal/pmu"
 	"powerbench/internal/server"
 	"powerbench/internal/workload"
@@ -31,6 +32,10 @@ type Engine struct {
 	// WiggleFrac modulates steady-state power by a slow oscillation of this
 	// relative amplitude, imitating program phase structure.
 	WiggleFrac float64
+	// Obs receives spans (one per run, with ramp/steady phases on the
+	// simulation's virtual clock) and sample counters. Nil disables
+	// telemetry at the cost of a pointer check.
+	Obs *obs.Obs
 }
 
 // New returns an engine with the paper's measurement setup: 1 Hz meter with
@@ -67,12 +72,25 @@ func (r RunResult) Duration() float64 { return r.End - r.Start }
 
 // Run executes m starting at server-clock time start.
 func (e *Engine) Run(m workload.Model, start float64) (RunResult, error) {
+	return e.run(m, start, nil)
+}
+
+// run is Run with an optional parent span, so RunSequence can nest its runs
+// under the sequence span while direct Run calls open their own track.
+func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResult, error) {
 	if err := m.Validate(); err != nil {
 		return RunResult{}, err
 	}
 	if m.DurationSec <= 0 {
 		return RunResult{}, fmt.Errorf("sim: %s has no duration", m.Name)
 	}
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Child("run " + m.Name)
+	} else {
+		sp = e.Obs.Span("run "+m.Name, "run")
+	}
+	defer sp.End()
 	steady := e.Server.PowerOf(m)
 	idle := e.Server.IdleWatts
 	ramp := e.RampSec
@@ -99,14 +117,27 @@ func (e *Engine) Run(m workload.Model, start float64) (RunResult, error) {
 		}
 	}
 
+	sp.SetVirtual(start, end)
+	// The run's phase structure on the virtual clock: the trace shows where
+	// simulated time went even though each phase costs ~no wall time here.
+	sp.Child("ramp-up").SetVirtual(start, start+ramp).End()
+	sp.Child("steady").SetVirtual(start+ramp, end-ramp).End()
+	sp.Child("ramp-down").SetVirtual(end-ramp, end).End()
+
+	meterSpan := sp.Child("meter record")
 	log := e.Meter.Record(start, end, powerAt)
+	meterSpan.Arg("samples", len(log)).End()
+
+	pmuSpan := sp.Child("pmu collect")
 	samples, err := e.PMU.Collect(e.Server, m)
 	if err != nil {
+		pmuSpan.End()
 		return RunResult{}, err
 	}
 	for i := range samples {
 		samples[i].T += start
 	}
+	pmuSpan.Arg("windows", len(samples)).End()
 
 	mem := make([]float64, 0, int(m.DurationSec)+1)
 	for t := 0.0; t <= m.DurationSec; t++ {
@@ -116,6 +147,12 @@ func (e *Engine) Run(m workload.Model, start float64) (RunResult, error) {
 		}
 		mem = append(mem, frac*float64(m.MemoryBytes))
 	}
+
+	e.Obs.Counter("sim_runs_total").Inc()
+	e.Obs.Counter("sim_meter_samples_total").Add(int64(len(log)))
+	e.Obs.Counter("sim_pmu_windows_total").Add(int64(len(samples)))
+	e.Obs.Counter("sim_memory_samples_total").Add(int64(len(mem)))
+	e.Obs.Gauge("sim_last_run_steady_watts", obs.L("program", m.Name)).Set(steady)
 
 	return RunResult{
 		Model:         m,
@@ -133,16 +170,19 @@ func (e *Engine) Run(m workload.Model, start float64) (RunResult, error) {
 // merged power log of the whole session (including the gaps, recorded at
 // idle power).
 func (e *Engine) RunSequence(models []workload.Model, gapSec float64) ([]RunResult, []meter.Sample, error) {
+	seq := e.Obs.Span("sequence", "run").Arg("models", len(models))
+	defer seq.End()
 	var results []RunResult
 	var logs [][]meter.Sample
 	t := 0.0
 	for i, m := range models {
 		if i > 0 && gapSec > 0 {
 			gap := e.Meter.Record(t, t+gapSec, func(float64) float64 { return e.Server.IdleWatts })
+			e.Obs.Counter("sim_idle_gap_samples_total").Add(int64(len(gap)))
 			logs = append(logs, gap)
 			t += gapSec + 1
 		}
-		r, err := e.Run(m, t)
+		r, err := e.run(m, t, seq)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sim: running %s: %w", m.Name, err)
 		}
@@ -150,5 +190,6 @@ func (e *Engine) RunSequence(models []workload.Model, gapSec float64) ([]RunResu
 		logs = append(logs, r.PowerLog)
 		t = r.End + 1
 	}
+	seq.SetVirtual(0, t-1)
 	return results, meter.Merge(logs...), nil
 }
