@@ -15,6 +15,7 @@ import (
 	"powerbench/internal/npb"
 	"powerbench/internal/pmu"
 	"powerbench/internal/regression"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 	"powerbench/internal/sim"
 	"powerbench/internal/ssj"
@@ -174,6 +175,37 @@ func BenchmarkOrderings(b *testing.B) {
 		if len(core.Ranking(c.Servers, c.Ours)) != 3 {
 			b.Fatal("bad ranking")
 		}
+	}
+}
+
+// BenchmarkEvaluateParallel measures the scheduler's speedup on the
+// three-server comparison (servers × states nested fan-out, the
+// powerbench -compare workload). CI gates on jobs=4 finishing in at most
+// 0.6× the sequential wall time (BENCH_sched.json); determinism of the
+// parallel result is asserted by TestCompareDeterministicAcrossJobs, so
+// this benchmark only checks shape.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		pool *sched.Pool
+	}{
+		{"sequential", sched.Sequential()},
+		{"jobs4", sched.New(4, nil)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var score float64
+			for i := 0; i < b.N; i++ {
+				c, err := core.CompareWithPool(server.All(), 42, nil, bc.pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(c.Servers) != 3 {
+					b.Fatal("bad comparison")
+				}
+				score = c.Ours[0]
+			}
+			b.ReportMetric(score, "score-E5462")
+		})
 	}
 }
 

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	figures [-only id] [-out dir] [-seed n] [-chart]
+//	figures [-only id] [-out dir] [-seed n] [-jobs n] [-chart]
 //	        [-v] [-q] [-metrics-out file] [-trace-out file]
 //
 // Artifact ids: table1, fig1, fig2, fig3, fig4, table2, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, table3, table4, table5, table6, orderings,
 // table7, table8, fig12, fig13, r2. The regression artifacts (table7
-// onward) train the HPCC model, which takes a few seconds.
+// onward) train the HPCC model, which takes a few seconds; -jobs spreads
+// the independent simulation runs over that many workers (default: one
+// per CPU) without changing any artifact byte.
 //
 // -v narrates progress on stderr; -metrics-out and -trace-out export the
 // run's telemetry (JSON metrics snapshot and Chrome trace_event file).
@@ -27,6 +29,7 @@ import (
 	"powerbench/internal/npb"
 	"powerbench/internal/obs"
 	"powerbench/internal/report"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 )
 
@@ -55,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "regenerate a single artifact id (default: all)")
 	outDir := fs.String("out", "", "directory for TSV output files")
 	seed := fs.Float64("seed", 1, "simulation seed")
+	jobs := fs.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU, 1 = sequential); artifacts are identical at every setting")
 	chart := fs.Bool("chart", false, "render single-series figures as ASCII bar charts")
 	var cli obs.CLI
 	cli.Register(fs)
@@ -63,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	o := cli.NewObs(stdout, stderr)
 	log := o.Log
+	pool := sched.New(*jobs, o)
 
 	// The regression artifacts share one trained model and its
 	// verifications; train lazily.
@@ -73,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return trained, nil
 		}
 		var err error
-		trained, err = core.TrainPowerModelWithObs(server.Xeon4870(), seed, o)
+		trained, err = core.TrainPowerModelWithPool(server.Xeon4870(), seed, o, pool)
 		return trained, err
 	}
 	verify := func(seed float64, class npb.Class) (*core.VerificationResult, error) {
@@ -95,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return nil, "", err
 		}
-		ev, err := core.EvaluateWithObs(spec, seed, o)
+		ev, err := core.EvaluateWithPool(spec, seed, o, pool)
 		if err != nil {
 			return nil, "", err
 		}
@@ -148,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		{"table5", func(s float64) (fmt.Stringer, string, error) { return evalTable("Opteron-8347", "Table V", s) }},
 		{"table6", func(s float64) (fmt.Stringer, string, error) { return evalTable("Xeon-4870", "Table VI", s) }},
 		{"orderings", func(s float64) (fmt.Stringer, string, error) {
-			c, err := core.CompareWithObs(server.All(), s, o)
+			c, err := core.CompareWithPool(server.All(), s, o, pool)
 			if err != nil {
 				return nil, "", err
 			}

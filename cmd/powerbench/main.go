@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	powerbench [-server name] [-compare] [-seed n]
+//	powerbench [-server name] [-compare] [-seed n] [-jobs n]
 //	           [-v] [-q] [-metrics-out file] [-trace-out file]
 //
+// -jobs sets how many simulation runs execute concurrently (default: one
+// per CPU; 1 = sequential). Output is byte-identical at every job count —
+// each run's noise is seeded from what it simulates, not when it runs.
 // -v enables progress diagnostics on stderr (-v -v for debug detail) and
 // -q silences the report itself. -metrics-out writes a JSON snapshot of
 // every pipeline metric; -trace-out writes a Chrome trace_event file that
@@ -21,6 +24,7 @@ import (
 
 	"powerbench/internal/core"
 	"powerbench/internal/obs"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 )
 
@@ -30,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serverName := fs.String("server", "", "server to evaluate (Xeon-E5462, Opteron-8347, Xeon-4870); empty = all")
 	compare := fs.Bool("compare", false, "also run the Green500 and SPECpower comparisons")
 	seed := fs.Float64("seed", 1, "simulation seed")
+	jobs := fs.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU, 1 = sequential); output is identical at every setting")
 	var cli obs.CLI
 	cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -37,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	o := cli.NewObs(stdout, stderr)
 	log := o.Log
+	pool := sched.New(*jobs, o)
 
 	var specs []*server.Spec
 	if *serverName == "" {
@@ -54,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"Xeon-E5462": "Table IV", "Opteron-8347": "Table V", "Xeon-4870": "Table VI",
 	}
 	for i, spec := range specs {
-		ev, err := core.EvaluateWithObs(spec, *seed+float64(i), o)
+		ev, err := core.EvaluateWithPool(spec, *seed+float64(i), o, pool)
 		if err != nil {
 			fmt.Fprintln(stderr, "evaluate:", err)
 			return 1
@@ -71,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *compare {
-		c, err := core.CompareWithObs(specs, *seed+100, o)
+		c, err := core.CompareWithPool(specs, *seed+100, o, pool)
 		if err != nil {
 			fmt.Fprintln(stderr, "compare:", err)
 			return 1

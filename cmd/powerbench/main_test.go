@@ -175,6 +175,34 @@ func TestRunMetricsOut(t *testing.T) {
 	}
 }
 
+// TestRunJobsOutputIdentical is the CLI acceptance check for the
+// scheduler: the full report — all three servers plus the -compare
+// section — is byte-identical on stdout whether the runs execute
+// sequentially or on eight workers.
+func TestRunJobsOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full three-server evaluation at two job counts")
+	}
+	outputs := map[string]string{}
+	for _, jobs := range []string{"1", "8"} {
+		var stdout, stderr bytes.Buffer
+		rc := run([]string{"-compare", "-jobs", jobs}, &stdout, &stderr)
+		if rc != 0 {
+			t.Fatalf("-jobs %s: rc=%d: %s", jobs, rc, stderr.String())
+		}
+		outputs[jobs] = stdout.String()
+	}
+	if outputs["1"] != outputs["8"] {
+		t.Errorf("stdout differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			outputs["1"], outputs["8"])
+	}
+	for _, want := range []string{"Table IV", "Table V", "Table VI", "Method comparison"} {
+		if !strings.Contains(outputs["1"], want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
 // TestRunBadFlags: unknown server and unparsable flags exit non-zero.
 func TestRunBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer

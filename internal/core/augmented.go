@@ -7,6 +7,7 @@ import (
 	"powerbench/internal/npb"
 	"powerbench/internal/pmu"
 	"powerbench/internal/regression"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 	"powerbench/internal/sim"
 	"powerbench/internal/stats"
@@ -21,6 +22,14 @@ import (
 // disjoint from the B/C verification sets) across their valid process
 // counts.
 func TrainPowerModelAugmented(spec *server.Spec, seed float64, extra []npb.Program) (*TrainingResult, error) {
+	return TrainPowerModelAugmentedWithPool(spec, seed, extra, nil)
+}
+
+// TrainPowerModelAugmentedWithPool is TrainPowerModelAugmented on the
+// scheduler: the augmented sweep shares the plain sweep's fan-out (and,
+// for the common HPCC prefix, its per-run seeds, so the two training sets
+// differ only by the added NPB runs). A nil pool runs sequentially.
+func TrainPowerModelAugmentedWithPool(spec *server.Spec, seed float64, extra []npb.Program, p *sched.Pool) (*TrainingResult, error) {
 	models, err := hpcc.TrainingModels(spec)
 	if err != nil {
 		return nil, err
@@ -41,15 +50,9 @@ func TrainPowerModelAugmented(spec *server.Spec, seed float64, extra []npb.Progr
 	}
 
 	engine := sim.New(spec, seed)
-	var xs [][]float64
-	var ys []float64
-	for _, m := range models {
-		x, y, err := collectRun(engine, m)
-		if err != nil {
-			return nil, fmt.Errorf("core: augmented training on %s: %w", m.Name, err)
-		}
-		xs = append(xs, x...)
-		ys = append(ys, y...)
+	xs, ys, err := collectTrainingRuns(engine, models, nil, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: augmented training: %w", err)
 	}
 	norms, err := stats.NormalizeColumns(xs)
 	if err != nil {

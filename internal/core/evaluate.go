@@ -15,6 +15,7 @@ import (
 	"powerbench/internal/meter"
 	"powerbench/internal/npb"
 	"powerbench/internal/obs"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 	"powerbench/internal/sim"
 	"powerbench/internal/ssj"
@@ -138,22 +139,29 @@ func Evaluate(spec *server.Spec, seed float64) (*Evaluation, error) {
 }
 
 // trimmedCount returns how many samples the paper's 10% head/tail trim
-// drops from a window of n samples (mirrors stats.Trim's floor-and-guard).
+// drops from a window of n samples (both ends together).
 func trimmedCount(n int) int {
-	cut := int(math.Floor(float64(n) * TrimFrac))
-	if 2*cut >= n {
-		return 0
-	}
-	return 2 * cut
+	return 2 * stats.TrimCount(n, TrimFrac)
 }
 
 // EvaluateWithObs is Evaluate with telemetry: a span per evaluation and one
 // per Table III state window (on the virtual clock), plus counters for the
 // samples the analysis trim drops. A nil Obs makes it identical to Evaluate.
 func EvaluateWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Evaluation, error) {
-	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed)
+	return EvaluateWithPool(spec, seed, o, nil)
+}
+
+// EvaluateWithPool is the scheduled form of the method: the plan's states
+// are independent programs (Table III), so they fan out on the pool's
+// workers, each on an engine forked by state identity, and the merged log
+// is reassembled in canonical order — the evaluation is byte-identical at
+// every worker count (a nil pool runs sequentially). The analysis pipeline
+// over the merged log stays sequential; it is a trivial fraction of the
+// work.
+func EvaluateWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Evaluation, error) {
+	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
-	o.Infof("evaluating %s (seed %g)", spec.Name, seed)
+	o.Infof("evaluating %s (seed %g, %d jobs)", spec.Name, seed, p.Workers())
 
 	models, err := PlanStates(spec)
 	if err != nil {
@@ -161,7 +169,7 @@ func EvaluateWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Evaluation, 
 	}
 	engine := sim.New(spec, seed)
 	engine.Obs = o
-	results, merged, err := engine.RunSequence(models, 30)
+	results, merged, err := engine.RunPlan(models, 30, p)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +237,14 @@ func Green500(spec *server.Spec, seed float64) (*Green500Result, error) {
 
 // Green500WithObs is Green500 with a span around the Rmax run.
 func Green500WithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Green500Result, error) {
+	return Green500WithPool(spec, seed, o, nil)
+}
+
+// Green500WithPool runs the single Rmax measurement as a scheduler job, so
+// a comparison's Green500 legs queue alongside its evaluation states and
+// show up in the pool's telemetry. One run has nothing to parallelize; the
+// pool only provides dispatch and accounting.
+func Green500WithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Green500Result, error) {
 	sp := o.Span("green500 "+spec.Name, "evaluate")
 	defer sp.End()
 	m, err := hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
@@ -237,7 +253,12 @@ func Green500WithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Green500Resu
 	}
 	engine := sim.New(spec, seed)
 	engine.Obs = o
-	run, err := engine.Run(m, 0)
+	var run sim.RunResult
+	err = p.Run("green500", 1, func(int) error {
+		var err error
+		run, err = engine.Run(m, 0)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -266,29 +287,56 @@ func Compare(specs []*server.Spec, seed float64) (*Comparison, error) {
 
 // CompareWithObs is Compare with a span per server and per method.
 func CompareWithObs(specs []*server.Spec, seed float64, o *obs.Obs) (*Comparison, error) {
-	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs))
+	return CompareWithPool(specs, seed, o, nil)
+}
+
+// CompareWithPool fans the comparison out across servers × states: each
+// server is one scheduler job whose evaluation leg nests a further
+// fan-out of its Table III states on the same pool. Per-server seeds
+// (seed+i, and +0.5 for the Green500 leg) are assigned by canonical
+// server index before dispatch, and the score columns are assembled in
+// input order after the barrier, so the comparison is byte-identical at
+// every worker count.
+func CompareWithPool(specs []*server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Comparison, error) {
+	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
 	defer cmpSpan.End()
-	c := &Comparison{}
-	for i, spec := range specs {
+	type leg struct {
+		ev  *Evaluation
+		g   *Green500Result
+		ssj float64
+	}
+	legs := make([]leg, len(specs))
+	err := p.Run("compare", len(specs), func(i int) error {
+		spec := specs[i]
 		o.Infof("comparing methods on %s", spec.Name)
-		ev, err := EvaluateWithObs(spec, seed+float64(i), o)
+		ev, err := EvaluateWithPool(spec, seed+float64(i), o, p)
 		if err != nil {
-			return nil, fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
+			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := Green500WithObs(spec, seed+float64(i)+0.5, o)
+		g, err := Green500WithPool(spec, seed+float64(i)+0.5, o, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ssjSpan := cmpSpan.Child("specpower " + spec.Name)
+		// Root span, not a child of cmpSpan: concurrent children on one
+		// trace track would break its begin/end nesting.
+		ssjSpan := o.Span("specpower "+spec.Name, "evaluate")
 		sp, err := ssj.Run(spec)
 		ssjSpan.End()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		legs[i] = leg{ev: ev, g: g, ssj: sp.Score}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{}
+	for i, spec := range specs {
 		c.Servers = append(c.Servers, spec.Name)
-		c.Ours = append(c.Ours, ev.Score)
-		c.Green500 = append(c.Green500, g.PPW)
-		c.SPECpower = append(c.SPECpower, sp.Score)
+		c.Ours = append(c.Ours, legs[i].ev.Score)
+		c.Green500 = append(c.Green500, legs[i].g.PPW)
+		c.SPECpower = append(c.SPECpower, legs[i].ssj)
 	}
 	return c, nil
 }

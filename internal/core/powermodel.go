@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"powerbench/internal/hpcc"
@@ -10,6 +11,7 @@ import (
 	"powerbench/internal/obs"
 	"powerbench/internal/pmu"
 	"powerbench/internal/regression"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 	"powerbench/internal/sim"
 	"powerbench/internal/stats"
@@ -28,6 +30,46 @@ type TrainingResult struct {
 	Stepwise     *regression.StepwiseResult
 	FeatureNorms []stats.Normalization
 	PowerNorm    stats.Normalization
+}
+
+// collectTrainingRuns fans the independent training runs out on the
+// pool's workers — each on an engine forked by ("train", script index,
+// model name) identity — and concatenates the per-window observations in
+// script order, so the training matrix is byte-identical at every worker
+// count.
+func collectTrainingRuns(engine *sim.Engine, models []workload.Model, o *obs.Obs, p *sched.Pool) ([][]float64, []float64, error) {
+	type observations struct {
+		xs [][]float64
+		ys []float64
+	}
+	runs := make([]observations, len(models))
+	err := p.Run("train", len(models), func(i int) error {
+		m := models[i]
+		// Root span per collect: the jobs run concurrently, so nesting
+		// them under the training span would interleave begin/end pairs
+		// on its track.
+		runSpan := o.Span("collect "+m.Name, "regression")
+		defer runSpan.End()
+		eng := engine.Fork("train", strconv.Itoa(i), m.Name)
+		x, y, err := collectRun(eng, m)
+		if err != nil {
+			return fmt.Errorf("core: training on %s: %w", m.Name, err)
+		}
+		runSpan.Arg("observations", len(x))
+		o.Counter("core_training_observations_total").Add(int64(len(x)))
+		runs[i] = observations{xs: x, ys: y}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var xs [][]float64
+	var ys []float64
+	for _, r := range runs {
+		xs = append(xs, r.xs...)
+		ys = append(ys, r.ys...)
+	}
+	return xs, ys, nil
 }
 
 // collectRun executes one workload and returns its PMU-window feature rows
@@ -60,7 +102,18 @@ func TrainPowerModel(spec *server.Spec, seed float64) (*TrainingResult, error) {
 // training program, an observation counter, and a span around the stepwise
 // fit. A nil Obs makes it identical to TrainPowerModel.
 func TrainPowerModelWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*TrainingResult, error) {
-	sp := o.Span("train "+spec.Name, "regression").Arg("seed", seed)
+	return TrainPowerModelWithPool(spec, seed, o, nil)
+}
+
+// TrainPowerModelWithPool is the scheduled form of the training sweep. The
+// HPCC runs behind the regression are mutually independent — "test scripts
+// sequentially start the seven HPCC programs" only because the paper had
+// one physical server — so each (component, core-count) run is a scheduler
+// job on an engine forked by training identity, and the observation matrix
+// is concatenated in script order after the barrier. Training output is
+// byte-identical at every worker count; a nil pool runs sequentially.
+func TrainPowerModelWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*TrainingResult, error) {
+	sp := o.Span("train "+spec.Name, "regression").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
 	models, err := hpcc.TrainingModels(spec)
 	if err != nil {
@@ -68,19 +121,9 @@ func TrainPowerModelWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Train
 	}
 	engine := sim.New(spec, seed)
 	engine.Obs = o
-	var xs [][]float64
-	var ys []float64
-	for _, m := range models {
-		runSpan := sp.Child("collect " + m.Name)
-		x, y, err := collectRun(engine, m)
-		if err != nil {
-			runSpan.End()
-			return nil, fmt.Errorf("core: training on %s: %w", m.Name, err)
-		}
-		runSpan.Arg("observations", len(x)).End()
-		o.Counter("core_training_observations_total").Add(int64(len(x)))
-		xs = append(xs, x...)
-		ys = append(ys, y...)
+	xs, ys, err := collectTrainingRuns(engine, models, o, p)
+	if err != nil {
+		return nil, err
 	}
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("core: training produced no observations")

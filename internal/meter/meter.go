@@ -58,6 +58,18 @@ func New(seed float64) *Meter {
 	}
 }
 
+// Clone returns a meter with m's configuration (interval, noise level,
+// skew, quantization, dropout) but fresh RNG streams seeded at seed. The
+// parallel scheduler forks one meter per concurrently executing run, so no
+// generator state is shared across goroutines and a run's noise depends
+// only on its own seed, never on which runs came before it.
+func (m *Meter) Clone(seed float64) *Meter {
+	c := *m
+	c.noise = newGaussSource(seed)
+	c.drop = rng.NewStream(seed+0.5, rng.A)
+	return &c
+}
+
 // gaussSource produces standard normal deviates from the NPB LCG via
 // Box-Muller, keeping the whole simulation on one reproducible generator
 // family.

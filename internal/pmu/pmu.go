@@ -192,6 +192,16 @@ func NewSampler(seed float64) *Sampler {
 	return &Sampler{IntervalSec: 10, JitterFrac: 0.03, stream: rng.NewStream(seed, rng.A)}
 }
 
+// Clone returns a sampler with s's configuration but a fresh jitter stream
+// seeded at seed, so concurrently executing runs never share generator
+// state (the companion of Meter.Clone in the scheduler's per-run RNG
+// contract).
+func (s *Sampler) Clone(seed float64) *Sampler {
+	c := *s
+	c.stream = rng.NewStream(seed, rng.A)
+	return &c
+}
+
 func (s *Sampler) jitter() float64 {
 	if s.JitterFrac == 0 || s.stream == nil {
 		return 1

@@ -1,0 +1,137 @@
+// Package sched is the deterministic parallel execution layer of the
+// pipeline: a bounded worker pool that fans out independent simulation
+// runs — the five system states of an evaluation, the servers of a
+// comparison, the HPCC programs of a regression training sweep — while
+// guaranteeing that the output is byte-identical to a sequential
+// execution.
+//
+// The determinism contract has two halves, and the pool enforces the
+// scheduling half while DeriveSeed supplies the other:
+//
+//   - Seed by identity. Every run draws its RNG state from DeriveSeed,
+//     a splittable seed function of the caller's base seed and the run's
+//     canonical identity (server name, workload name, plan index) — never
+//     from submission order, worker id, or wall-clock time. Two runs of
+//     the same plan therefore consume identical noise streams no matter
+//     how many workers execute them or in which order they finish.
+//
+//   - Reassemble in canonical order. Jobs are addressed by index; workers
+//     write results into caller-owned, index-addressed slots, and the
+//     caller concatenates them in plan order after the barrier. Errors
+//     are reported by the lowest failing index, so even failure output is
+//     scheduling-independent.
+//
+// The pool is instrumented through internal/obs: a queue-depth gauge, a
+// span per worker (with one child span per executed job), and counters
+// for dispatched, failed and "stolen" jobs (jobs executed by a worker
+// other than their round-robin home — a measure of how unevenly the work
+// divided).
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"powerbench/internal/obs"
+)
+
+// Pool is a bounded worker pool. The zero value and the nil pool both
+// behave as a sequential single-worker pool, so instrumented call sites
+// need no conditional wiring.
+type Pool struct {
+	workers int
+	obs     *obs.Obs
+}
+
+// New returns a pool running at most jobs concurrent workers per fan-out.
+// jobs <= 0 selects GOMAXPROCS, the hardware default. The obs handle may
+// be nil (telemetry off).
+func New(jobs int, o *obs.Obs) *Pool {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: jobs, obs: o}
+}
+
+// Sequential returns the one-worker pool used as the determinism baseline.
+func Sequential() *Pool { return New(1, nil) }
+
+// Workers returns the pool's concurrency bound. A nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes n independent jobs, indexed 0..n-1, on the pool's workers
+// and blocks until all have finished. The job function must write its
+// result into a caller-owned slot addressed by the index; Run itself
+// imposes no ordering on execution, which is exactly why results carried
+// through indexed slots (and seeds derived from identity, not order) come
+// out byte-identical at any worker count.
+//
+// All jobs run even when some fail; the returned error is the one with
+// the lowest index, so error reporting is deterministic too. A nil pool
+// runs the jobs on a single worker.
+//
+// The concurrency bound applies per Run call: a job may itself fan out on
+// the same pool (Compare does, one nested fan-out per server) without
+// deadlock, because every call brings its own workers.
+func (p *Pool) Run(label string, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	var o *obs.Obs
+	if p != nil {
+		o = p.obs
+	}
+	o.Counter("sched_runs_total").Inc()
+	queue := o.Gauge("sched_queue_depth")
+	queue.Add(float64(n))
+
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sp := o.Span(fmt.Sprintf("%s worker %d", label, w), "sched")
+			defer sp.End()
+			jobs := 0
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					sp.Arg("jobs", jobs)
+					return
+				}
+				jobs++
+				queue.Add(-1)
+				o.Counter("sched_jobs_total").Inc()
+				if i%workers != w {
+					o.Counter("sched_jobs_stolen_total").Inc()
+				}
+				js := sp.Child(fmt.Sprintf("%s job %d", label, i))
+				if err := job(i); err != nil {
+					errs[i] = err
+					o.Counter("sched_jobs_failed_total").Inc()
+				}
+				js.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package sched
+
+import "math"
+
+// SeedBits is the width of a derived seed: the NPB linear congruential
+// generator that every simulated noise source runs on (internal/rng)
+// operates modulo 2^46, so a seed is a 46-bit integer stored in a float64.
+const SeedBits = 46
+
+// seedMask selects the low SeedBits of a hash.
+const seedMask = 1<<SeedBits - 1
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// DeriveSeed maps a base seed and a run's canonical identity to an RNG
+// seed, splittable-seed style: the result depends only on the argument
+// values, so concurrently executing runs draw the same noise streams as a
+// sequential execution, regardless of submission order, worker count, or
+// completion order. Identity parts are length-prefixed before hashing, so
+// ("ab","c") and ("a","bc") derive different seeds.
+//
+// The value is an odd integer in [1, 2^46), a full-period state for the
+// NPB multiplier-5^13 LCG that meters and PMU samplers are built on.
+func DeriveSeed(base float64, parts ...string) float64 {
+	h := uint64(fnvOffset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	bits := math.Float64bits(base)
+	for i := 0; i < 8; i++ {
+		mix(byte(bits >> (8 * i)))
+	}
+	for _, p := range parts {
+		n := len(p)
+		for i := 0; i < 4; i++ {
+			mix(byte(n >> (8 * i)))
+		}
+		for j := 0; j < n; j++ {
+			mix(p[j])
+		}
+	}
+	// Fold the discarded high bits back in, then force the seed odd (even
+	// LCG states decay: the modulus is a power of two) and hence nonzero.
+	v := (h ^ h>>SeedBits) & seedMask
+	v |= 1
+	return float64(v)
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+
+	"powerbench/internal/meter"
+	"powerbench/internal/sched"
+	"powerbench/internal/workload"
+)
+
+// Timeline returns the canonical start time of every model in a
+// back-to-back sequence with gapSec idle gaps, laid out exactly as
+// RunSequence lays its runs out: run i+1 starts one second after run i
+// ends, plus the idle gap (and one more second) when gapSec > 0. The
+// timeline depends only on the models' durations, so it can be computed
+// before any run executes — which is what lets the scheduler dispatch all
+// runs at once and still reassemble a merged log identical to a
+// sequential session.
+func Timeline(models []workload.Model, gapSec float64) []float64 {
+	starts := make([]float64, len(models))
+	t := 0.0
+	for i, m := range models {
+		if i > 0 && gapSec > 0 {
+			t += gapSec + 1
+		}
+		starts[i] = t
+		t += m.DurationSec + 1
+	}
+	return starts
+}
+
+// RunPlan executes the models of a sequence on the pool's workers and
+// returns one result per model plus the merged power log of the whole
+// session, idle gaps included — the same artifacts as RunSequence, but
+// with the independent runs fanned out concurrently.
+//
+// Determinism contract: every run executes on a Fork of e seeded by its
+// canonical identity (server, "run", plan index, model name) at the start
+// time Timeline assigns it, and every idle gap is recorded by a meter
+// seeded by its own identity (server, "gap", index). Results and log
+// segments are reassembled in plan order after the barrier. The output is
+// therefore byte-identical for any worker count, including a nil
+// (sequential) pool.
+func (e *Engine) RunPlan(models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, error) {
+	starts := Timeline(models, gapSec)
+	sp := e.Obs.Span("plan", "run").Arg("models", len(models)).Arg("jobs", pool.Workers())
+	defer sp.End()
+
+	// The gaps only depend on the timeline; record them up front, each
+	// from its own identity-seeded meter.
+	gaps := make([][]meter.Sample, len(models))
+	for i := 1; i < len(models) && gapSec > 0; i++ {
+		m := e.Meter.Clone(sched.DeriveSeed(e.seed, e.Server.Name, "gap", strconv.Itoa(i)))
+		gapStart := starts[i] - gapSec - 1
+		gap := m.Record(gapStart, gapStart+gapSec, func(float64) float64 { return e.Server.IdleWatts })
+		e.Obs.Counter("sim_idle_gap_samples_total").Add(int64(len(gap)))
+		gaps[i] = gap
+	}
+
+	results := make([]RunResult, len(models))
+	err := pool.Run("sim", len(models), func(i int) error {
+		eng := e.Fork("run", strconv.Itoa(i), models[i].Name)
+		r, err := eng.run(models[i], starts[i], nil)
+		if err != nil {
+			return fmt.Errorf("sim: running %s: %w", models[i].Name, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	logs := make([][]meter.Sample, 0, 2*len(models))
+	end := 0.0
+	for i, r := range results {
+		if gaps[i] != nil {
+			logs = append(logs, gaps[i])
+		}
+		logs = append(logs, r.PowerLog)
+		end = r.End
+	}
+	sp.SetVirtual(0, end)
+	return results, meter.Merge(logs...), nil
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"powerbench/internal/sched"
+	"powerbench/internal/server"
+	"powerbench/internal/workload"
+)
+
+func planModels(t *testing.T, spec *server.Spec) []workload.Model {
+	t.Helper()
+	models := []workload.Model{workload.Idle(60)}
+	for _, procs := range []int{1, 2, spec.Cores} {
+		m := workload.Model{
+			Name:        "synth." + itoa(procs),
+			Processes:   procs,
+			DurationSec: 90,
+			MemoryBytes: 1 << 28,
+			GFLOPS:      10 * float64(procs),
+			Char:        workload.CharHPL,
+		}
+		models = append(models, m)
+	}
+	return models
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestTimelineMatchesRunSequence: the precomputed timeline reproduces the
+// start/end layout RunSequence actually produces.
+func TestTimelineMatchesRunSequence(t *testing.T) {
+	spec := server.XeonE5462()
+	models := planModels(t, spec)
+	for _, gap := range []float64{0, 10, 30} {
+		results, _, err := New(spec, 5).RunSequence(models, gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts := Timeline(models, gap)
+		if len(starts) != len(results) {
+			t.Fatalf("gap %v: %d timeline entries, %d results", gap, len(starts), len(results))
+		}
+		for i, r := range results {
+			if starts[i] != r.Start {
+				t.Errorf("gap %v run %d: timeline start %v, RunSequence start %v", gap, i, starts[i], r.Start)
+			}
+		}
+	}
+}
+
+// TestRunPlanDeterministicAcrossWorkerCounts is the scheduler's core
+// property at the sim layer: the full result set — every sample of every
+// power log, PMU window and memory trace, and the merged session log — is
+// byte-identical for jobs ∈ {1, 2, 8} and for the nil sequential pool.
+func TestRunPlanDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := server.XeonE5462()
+	models := planModels(t, spec)
+	base := New(spec, 7)
+	wantResults, wantMerged, err := base.RunPlan(models, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantResults) != len(models) || len(wantMerged) == 0 {
+		t.Fatalf("baseline shape: %d results, %d merged samples", len(wantResults), len(wantMerged))
+	}
+	for _, jobs := range []int{1, 2, 8} {
+		got, merged, err := New(spec, 7).RunPlan(models, 30, sched.New(jobs, nil))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(got, wantResults) {
+			t.Errorf("jobs=%d: run results differ from sequential baseline", jobs)
+		}
+		if !reflect.DeepEqual(merged, wantMerged) {
+			t.Errorf("jobs=%d: merged log differs from sequential baseline", jobs)
+		}
+	}
+}
+
+// TestRunPlanLayoutMatchesRunSequence: the merged log has exactly the
+// timestamps a sequential RunSequence session produces (sample values
+// differ — the plan seeds per run — but the session layout is identical).
+func TestRunPlanLayoutMatchesRunSequence(t *testing.T) {
+	spec := server.XeonE5462()
+	models := planModels(t, spec)
+	seqResults, seqMerged, err := New(spec, 7).RunSequence(models, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planResults, planMerged, err := New(spec, 7).RunPlan(models, 30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planMerged) != len(seqMerged) {
+		t.Fatalf("merged log length %d vs RunSequence %d", len(planMerged), len(seqMerged))
+	}
+	for i := range planMerged {
+		if planMerged[i].T != seqMerged[i].T {
+			t.Fatalf("sample %d at t=%v, RunSequence has t=%v", i, planMerged[i].T, seqMerged[i].T)
+		}
+	}
+	for i := range planResults {
+		if planResults[i].Start != seqResults[i].Start || planResults[i].End != seqResults[i].End {
+			t.Errorf("run %d window [%v,%v], RunSequence [%v,%v]", i,
+				planResults[i].Start, planResults[i].End, seqResults[i].Start, seqResults[i].End)
+		}
+	}
+}
+
+// TestRunPlanError: a failing model surfaces with its name, at every
+// worker count.
+func TestRunPlanError(t *testing.T) {
+	spec := server.XeonE5462()
+	models := planModels(t, spec)
+	models[2].DurationSec = 0 // invalid: no duration
+	for _, jobs := range []int{1, 4} {
+		_, _, err := New(spec, 1).RunPlan(models, 10, sched.New(jobs, nil))
+		if err == nil || !strings.Contains(err.Error(), models[2].Name) {
+			t.Errorf("jobs=%d: err = %v, want mention of %s", jobs, err, models[2].Name)
+		}
+	}
+}
+
+// TestForkIndependence: forked engines share no RNG state — running one
+// does not perturb the other, and the same identity always forks the same
+// stream.
+func TestForkIndependence(t *testing.T) {
+	spec := server.XeonE5462()
+	m := planModels(t, spec)[1]
+
+	e1 := New(spec, 3)
+	a := e1.Fork("run", "1", m.Name)
+	// Consume e1's own streams and another fork before using a.
+	if _, err := e1.Fork("run", "0", "Idle").Run(workload.Idle(60), 0); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Run(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := New(spec, 3).Fork("run", "1", m.Name).Run(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("identical fork identities produced different runs")
+	}
+
+	rc, err := New(spec, 3).Fork("run", "2", m.Name).Run(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ra.PowerLog, rc.PowerLog) {
+		t.Error("different fork identities produced identical power logs")
+	}
+}

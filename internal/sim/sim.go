@@ -15,6 +15,7 @@ import (
 	"powerbench/internal/meter"
 	"powerbench/internal/obs"
 	"powerbench/internal/pmu"
+	"powerbench/internal/sched"
 	"powerbench/internal/server"
 	"powerbench/internal/workload"
 )
@@ -36,6 +37,10 @@ type Engine struct {
 	// simulation's virtual clock) and sample counters. Nil disables
 	// telemetry at the cost of a pointer check.
 	Obs *obs.Obs
+
+	// seed is the base seed New was called with; Fork derives per-run
+	// seeds from it by identity.
+	seed float64
 }
 
 // New returns an engine with the paper's measurement setup: 1 Hz meter with
@@ -48,7 +53,27 @@ func New(spec *server.Spec, seed float64) *Engine {
 		PMU:        pmu.NewSampler(seed + 1),
 		RampSec:    8,
 		WiggleFrac: 0.01,
+		seed:       seed,
 	}
+}
+
+// Fork returns a copy of e whose meter and PMU sampler carry fresh RNG
+// streams seeded by identity: sched.DeriveSeed over e's base seed, the
+// server name, and the given parts. All configuration (ramp, wiggle,
+// meter interval/noise/skew, PMU interval/jitter, Obs) is inherited.
+//
+// This is the seeding half of the scheduler's determinism contract: a
+// forked engine's noise depends only on (base seed, identity), never on
+// how many runs another engine performed first, so independent runs can
+// execute concurrently — or sequentially, in any order — and produce
+// identical samples.
+func (e *Engine) Fork(parts ...string) *Engine {
+	seed := sched.DeriveSeed(e.seed, append([]string{e.Server.Name}, parts...)...)
+	f := *e
+	f.Meter = e.Meter.Clone(seed)
+	f.PMU = e.PMU.Clone(seed + 1)
+	f.seed = seed
+	return &f
 }
 
 // RunResult is the record of one program execution.

@@ -116,26 +116,39 @@ func Median(xs []float64) (float64, error) {
 	return (cp[n/2-1] + cp[n/2]) / 2, nil
 }
 
+// TrimCount returns how many samples Trim(n-sample trace, frac) drops
+// from EACH end: ⌊n·frac⌋, capped so that at least one sample survives.
+// It is the single source of truth for the trim arithmetic — Trim and the
+// pipeline's trim-accounting metrics both call it, so they cannot drift
+// apart on the short-log edge cases (n < 10 at the paper's 10% drops
+// nothing; the cap engages only at fractions ≥ ⅓).
+func TrimCount(n int, frac float64) int {
+	if n <= 0 || frac <= 0 {
+		return 0
+	}
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	cut := int(math.Floor(float64(n) * frac))
+	if max := (n - 1) / 2; cut > max {
+		cut = max
+	}
+	return cut
+}
+
 // Trim returns the sub-slice of xs with the first and last fraction of
 // samples removed. The paper's data-analysis step 3 removes the initial 10%
 // and the final 10% of every program's power trace to exclude ramp-up and
 // ramp-down transients, so Trim(xs, 0.10) is the canonical call.
 //
-// Trim never removes everything: when the trimmed window would be empty
-// (very short traces) the original slice is returned unchanged, which
-// matches how short calibration runs are treated in practice. The returned
-// slice aliases xs.
+// Trim never removes everything: on traces too short for the requested
+// fraction the per-end cut is reduced until at least one (central) sample
+// survives. That cap used to return the whole trace — transients included —
+// whenever 2·⌊n·frac⌋ ≥ n, so an even-length short trace kept everything
+// while an odd-length one was trimmed to its middle sample; TrimCount now
+// trims both to the centre symmetrically. The returned slice aliases xs.
 func Trim(xs []float64, frac float64) []float64 {
-	if frac <= 0 || len(xs) == 0 {
-		return xs
-	}
-	if frac > 0.5 {
-		frac = 0.5
-	}
-	cut := int(math.Floor(float64(len(xs)) * frac))
-	if 2*cut >= len(xs) {
-		return xs
-	}
+	cut := TrimCount(len(xs), frac)
 	return xs[cut : len(xs)-cut]
 }
 

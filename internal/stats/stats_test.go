@@ -325,3 +325,69 @@ func TestPropertyMeanBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTrimCountShortLogs pins the head/tail trim on every very short log
+// length (n = 0..12) at the paper's 10% fraction and at the degenerate
+// 50% fraction — the edge the old guard got wrong: for 2·⌊n·frac⌋ ≥ n it
+// returned the whole trace (transients included) on even lengths while
+// trimming odd lengths to their middle sample.
+func TestTrimCountShortLogs(t *testing.T) {
+	cases := []struct {
+		n            int
+		cut10, cut50 int // per-end drops at frac 0.10 and 0.50
+	}{
+		{0, 0, 0},
+		{1, 0, 0},
+		{2, 0, 0}, // 50%: ⌊1⌋ capped to 0 so a sample survives
+		{3, 0, 1}, // 50%: middle sample survives
+		{4, 0, 1}, // 50%: ⌊2⌋ capped to 1 — previously kept all 4
+		{5, 0, 2},
+		{6, 0, 2}, // 50%: capped from 3 — previously kept all 6
+		{7, 0, 3},
+		{8, 0, 3}, // 50%: capped from 4
+		{9, 0, 4},
+		{10, 1, 4}, // 10%: first length that trims at all
+		{11, 1, 5},
+		{12, 1, 5},
+	}
+	for _, c := range cases {
+		if got := TrimCount(c.n, 0.10); got != c.cut10 {
+			t.Errorf("TrimCount(%d, 0.10) = %d, want %d", c.n, got, c.cut10)
+		}
+		if got := TrimCount(c.n, 0.50); got != c.cut50 {
+			t.Errorf("TrimCount(%d, 0.50) = %d, want %d", c.n, got, c.cut50)
+		}
+		xs := make([]float64, c.n)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		got := Trim(xs, 0.10)
+		if len(got) != c.n-2*c.cut10 {
+			t.Errorf("len(Trim(%d, 0.10)) = %d, want %d", c.n, len(got), c.n-2*c.cut10)
+		}
+		if c.cut10 > 0 && (got[0] != float64(c.cut10) || got[len(got)-1] != float64(c.n-1-c.cut10)) {
+			t.Errorf("Trim(%d, 0.10) window = [%v..%v], want [%d..%d]",
+				c.n, got[0], got[len(got)-1], c.cut10, c.n-1-c.cut10)
+		}
+		if got50 := Trim(xs, 0.50); len(got50) != c.n-2*c.cut50 {
+			t.Errorf("len(Trim(%d, 0.50)) = %d, want %d", c.n, len(got50), c.n-2*c.cut50)
+		}
+	}
+}
+
+// TestTrimTrimCountConsistency: the accounting function and the trim
+// itself can never disagree, for any length and fraction.
+func TestTrimTrimCountConsistency(t *testing.T) {
+	xs := make([]float64, 200)
+	for _, frac := range []float64{-1, 0, 0.05, 0.10, 1.0 / 3, 0.5, 0.9, 2} {
+		for n := 0; n <= 200; n++ {
+			got := Trim(xs[:n], frac)
+			if want := n - 2*TrimCount(n, frac); len(got) != want {
+				t.Fatalf("n=%d frac=%v: len(Trim) = %d, TrimCount implies %d", n, frac, len(got), want)
+			}
+			if n > 0 && len(got) == 0 {
+				t.Fatalf("n=%d frac=%v: trim removed everything", n, frac)
+			}
+		}
+	}
+}
