@@ -5,11 +5,16 @@
 // Usage:
 //
 //	powerbench [-server name] [-compare] [-seed n] [-jobs n]
+//	           [-fault-profile none|light|heavy]
 //	           [-v] [-q] [-metrics-out file] [-trace-out file]
 //
 // -jobs sets how many simulation runs execute concurrently (default: one
 // per CPU; 1 = sequential). Output is byte-identical at every job count —
 // each run's noise is seeded from what it simulates, not when it runs.
+// -fault-profile injects deterministic, seeded measurement faults (dropped
+// and corrupted meter samples, PMU counter wrap, transient run failures)
+// to exercise the hardened pipeline; "none" (the default) changes nothing,
+// and a chaos run is itself bit-reproducible at any -jobs count.
 // -v enables progress diagnostics on stderr (-v -v for debug detail) and
 // -q silences the report itself. -metrics-out writes a JSON snapshot of
 // every pipeline metric; -trace-out writes a Chrome trace_event file that
@@ -23,6 +28,7 @@ import (
 	"os"
 
 	"powerbench/internal/core"
+	"powerbench/internal/fault"
 	"powerbench/internal/obs"
 	"powerbench/internal/sched"
 	"powerbench/internal/server"
@@ -35,14 +41,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", false, "also run the Green500 and SPECpower comparisons")
 	seed := fs.Float64("seed", 1, "simulation seed")
 	jobs := fs.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU, 1 = sequential); output is identical at every setting")
+	faultProfile := fs.String("fault-profile", "none", "fault injection profile (none, light, heavy); chaos runs are deterministic per seed")
 	var cli obs.CLI
 	cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	profile, err := fault.Parse(*faultProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	o := cli.NewObs(stdout, stderr)
 	log := o.Log
 	pool := sched.New(*jobs, o)
+	ledger := fault.NewLedger()
+	opts := core.EvalOptions{Obs: o, Pool: pool, Fault: profile, Ledger: ledger}
 
 	var specs []*server.Spec
 	if *serverName == "" {
@@ -60,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"Xeon-E5462": "Table IV", "Opteron-8347": "Table V", "Xeon-4870": "Table VI",
 	}
 	for i, spec := range specs {
-		ev, err := core.EvaluateWithPool(spec, *seed+float64(i), o, pool)
+		ev, err := core.EvaluateOpts(spec, *seed+float64(i), opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "evaluate:", err)
 			return 1
@@ -77,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *compare {
-		c, err := core.CompareWithPool(specs, *seed+100, o, pool)
+		c, err := core.CompareOpts(specs, *seed+100, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "compare:", err)
 			return 1
@@ -90,6 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		log.Reportf("  ours ordering:      %v\n", core.Ranking(c.Servers, c.Ours))
 		log.Reportf("  green500 ordering:  %v\n", core.Ranking(c.Servers, c.Green500))
 		log.Reportf("  specpower ordering: %v\n", core.Ranking(c.Servers, c.SPECpower))
+	}
+
+	if profile.Active() {
+		log.Reportf("fault injection (%s profile): %s\n", profile.Name, ledger)
 	}
 
 	return cli.Flush(o, stderr)

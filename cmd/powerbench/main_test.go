@@ -213,3 +213,69 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("bad flag should return usage error")
 	}
 }
+
+// TestRunFaultProfileNone: the explicit -fault-profile=none is the default —
+// the report stream must be byte-identical to a run without the flag.
+func TestRunFaultProfileNone(t *testing.T) {
+	var plain, none, stderr bytes.Buffer
+	if rc := run([]string{"-server", "Xeon-E5462"}, &plain, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	stderr.Reset()
+	if rc := run([]string{"-server", "Xeon-E5462", "-fault-profile", "none"}, &none, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	if plain.String() != none.String() {
+		t.Errorf("-fault-profile=none changed the output:\n--- default ---\n%s\n--- none ---\n%s",
+			plain.String(), none.String())
+	}
+}
+
+// TestRunFaultProfileHeavy: a chaos run completes (rc 0), annotates its
+// tables with quality lines, and reports the injected-fault ledger.
+func TestRunFaultProfileHeavy(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-server", "Xeon-E5462", "-fault-profile", "heavy"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("chaos run failed rc=%d: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Table IV") {
+		t.Errorf("chaos run lost the evaluation table:\n%s", out)
+	}
+	if !strings.Contains(out, "# quality:") {
+		t.Errorf("chaos tables missing quality annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "fault injection (heavy profile):") {
+		t.Errorf("chaos run missing the ledger report:\n%s", out)
+	}
+}
+
+// TestRunFaultProfileDeterministic: the same seed and profile reproduce the
+// chaos report byte-for-byte at different worker counts.
+func TestRunFaultProfileDeterministic(t *testing.T) {
+	outputs := map[string]string{}
+	for _, jobs := range []string{"1", "4"} {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-server", "Xeon-E5462", "-fault-profile", "light", "-jobs", jobs}
+		if rc := run(args, &stdout, &stderr); rc != 0 {
+			t.Fatalf("-jobs %s: rc=%d: %s", jobs, rc, stderr.String())
+		}
+		outputs[jobs] = stdout.String()
+	}
+	if outputs["1"] != outputs["4"] {
+		t.Errorf("chaos output differs between -jobs 1 and -jobs 4:\n--- 1 ---\n%s\n--- 4 ---\n%s",
+			outputs["1"], outputs["4"])
+	}
+}
+
+// TestRunFaultProfileBogus: an unknown profile is a usage error.
+func TestRunFaultProfileBogus(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-fault-profile", "bogus"}, &stdout, &stderr); rc != 2 {
+		t.Errorf("unknown fault profile: rc=%d, want 2", rc)
+	}
+	if !strings.Contains(stderr.String(), "unknown profile") {
+		t.Errorf("stderr should name the bad flag, got: %s", stderr.String())
+	}
+}

@@ -51,6 +51,9 @@ type Evaluation struct {
 	// own per-row PPWs average to 0.0639; Tables V and VI are consistent
 	// with the mean. See EXPERIMENTS.md for the analysis.
 	Score float64
+	// Quality records the repairs and degradations the hardened pipeline
+	// absorbed; it stays zero on the clean path.
+	Quality Quality
 }
 
 // AveragePower applies the paper's pipeline to one program window of a
@@ -226,6 +229,8 @@ type Green500Result struct {
 	AvgWatts float64
 	// PPW is Rmax / AvgWatts (Eq. 1).
 	PPW float64
+	// Quality records repairs and retries under an active fault profile.
+	Quality Quality
 }
 
 // Green500 runs the Green500 procedure on a server: launch the meter, run
@@ -278,6 +283,9 @@ type Comparison struct {
 	Ours      []float64
 	Green500  []float64
 	SPECpower []float64
+	// Quality, when non-nil, aligns with Servers and records each server's
+	// repairs/degradations under an active fault profile.
+	Quality []Quality
 }
 
 // Compare evaluates every server under all three methods.

@@ -509,6 +509,13 @@ func EvaluationTable(ev *Evaluation, tableName string) *report.Table {
 	}
 	t.AddRow("Average", fmt.Sprintf("%.4f", ev.AvgGFLOPS), fmt.Sprintf("%.4f", ev.AvgWatts), "")
 	t.AddRow("Score (mean PPW)", "", "", fmt.Sprintf("%.4f", ev.Score))
+	// Quality caveats appear only on degraded runs, so clean tables keep
+	// their historic bytes.
+	if !ev.Quality.Clean() {
+		for _, n := range ev.Quality.notes() {
+			t.AddNote(n)
+		}
+	}
 	return t
 }
 

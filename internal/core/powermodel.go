@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"powerbench/internal/hpcc"
+	"powerbench/internal/meter"
 	"powerbench/internal/npb"
 	"powerbench/internal/obs"
 	"powerbench/internal/pmu"
@@ -30,7 +31,20 @@ type TrainingResult struct {
 	Stepwise     *regression.StepwiseResult
 	FeatureNorms []stats.Normalization
 	PowerNorm    stats.Normalization
+	// Robust reports that residual diagnostics flagged gross outliers and
+	// the model was refit with the Huber M-estimator. Clean training data
+	// never triggers it (its max |z| sits near 7, under the threshold of
+	// robustZThreshold).
+	Robust bool
 }
+
+// robustZThreshold is the MaxAbsStandardized residual above which the
+// training fit falls back to robust regression. The clean pipeline's
+// residuals are not Gaussian — the linear model has systematic lack of fit
+// across HPCC programs — and top out near 7σ, independent of seed; data
+// corruption that survives trace repair and counter unwrapping (a window
+// whose features or power are simply wrong) lands far beyond 10.
+const robustZThreshold = 10.0
 
 // collectTrainingRuns fans the independent training runs out on the
 // pool's workers — each on an engine forked by ("train", script index,
@@ -73,11 +87,20 @@ func collectTrainingRuns(engine *sim.Engine, models []workload.Model, o *obs.Obs
 }
 
 // collectRun executes one workload and returns its PMU-window feature rows
-// paired with the average power of each window.
+// paired with the average power of each window. Under an active fault
+// injector the observables are hardened first: counter wrap is corrected
+// across the run's windows and the power trace repaired onto its grid —
+// the clean path takes neither branch and keeps its historic bytes.
 func collectRun(engine *sim.Engine, m workload.Model) ([][]float64, []float64, error) {
 	run, err := engine.Run(m, 0)
 	if err != nil {
 		return nil, nil, err
+	}
+	if engine.Fault.Active() {
+		pmu.Unwrap(run.PMUSamples, pmu.CounterModulus)
+		run.PowerLog, _ = meter.Repair(run.PowerLog, meter.RepairOpts{
+			Start: run.Start, End: run.End, IntervalSec: engine.Meter.IntervalSec,
+		})
 	}
 	var xs [][]float64
 	var ys []float64
@@ -150,6 +173,31 @@ func TrainPowerModelWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sch
 	if err != nil {
 		return nil, err
 	}
+
+	// Robust fallback: when residual diagnostics over the selected design
+	// flag gross outliers (corrupted windows that survived trace repair),
+	// refit with the Huber M-estimator so a handful of wild observations
+	// cannot drag the coefficients. Clean data never crosses the threshold,
+	// so the OLS path — and its bytes — survive untouched.
+	robust := false
+	sel := make([][]float64, len(xs))
+	for i, row := range xs {
+		pr := make([]float64, len(sw.Selected))
+		for j, c := range sw.Selected {
+			pr[j] = row[c]
+		}
+		sel[i] = pr
+	}
+	if d, derr := regression.Diagnose(sw.Model, sel, zy); derr == nil && d.MaxAbsStandardized > robustZThreshold {
+		o.Infof("training %s: residual outlier (max |z| %.1f > %.0f), refitting with Huber loss",
+			spec.Name, d.MaxAbsStandardized, robustZThreshold)
+		if rm, rerr := regression.FitHuber(sel, zy, regression.HuberOptions{Lambda: 0.01 * float64(len(xs))}); rerr == nil {
+			sw.Model = rm
+			robust = true
+			o.Counter("core_robust_refits_total").Inc()
+		}
+	}
+
 	o.Gauge("core_training_r2", obs.L("server", spec.Name)).Set(sw.Model.Summary.RSquare)
 	return &TrainingResult{
 		Server:       spec.Name,
@@ -159,6 +207,7 @@ func TrainPowerModelWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sch
 		Stepwise:     sw,
 		FeatureNorms: norms,
 		PowerNorm:    pNorm,
+		Robust:       robust,
 	}, nil
 }
 

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"powerbench/internal/fault"
+	"powerbench/internal/hpl"
+	"powerbench/internal/meter"
+	"powerbench/internal/obs"
+	"powerbench/internal/sched"
+	"powerbench/internal/server"
+	"powerbench/internal/sim"
+	"powerbench/internal/ssj"
+	"powerbench/internal/stats"
+	"powerbench/internal/workload"
+)
+
+// This file is the graceful-degradation layer of the evaluation pipeline
+// (DESIGN.md §8): the *Opts entry points run the same method as their
+// unhardened counterparts, but when a fault profile is active they route
+// every program window through meter.Repair, give every run a bounded
+// retry budget, survive permanently failed states by reporting them, and
+// thread the resulting Quality annotations into the tables. With an
+// inactive (nil) profile every *Opts function delegates verbatim to the
+// clean path, so pristine runs remain byte-identical.
+
+// EvalOptions bundles the optional machinery of an evaluation: telemetry,
+// scheduling, and fault injection. The zero value reproduces Evaluate.
+type EvalOptions struct {
+	Obs  *obs.Obs
+	Pool *sched.Pool
+	// Fault activates chaos injection at the profile's rates. Nil (or an
+	// all-zero profile) disables injection and every repair pass with it.
+	Fault *fault.Profile
+	// Ledger receives the injected-fault counts; nil allocates a private
+	// one. Chaos tests pass a shared ledger and reconcile it against the
+	// Quality annotations.
+	Ledger *fault.Ledger
+	// Retry overrides the per-run attempt budget under an active profile.
+	// The zero value selects 3 attempts with 1 ms backoff.
+	Retry sched.Retry
+}
+
+func (o EvalOptions) retry() sched.Retry {
+	if o.Retry.Attempts > 0 {
+		return o.Retry
+	}
+	return sched.Retry{Attempts: 3, Backoff: time.Millisecond}
+}
+
+// Quality annotates an evaluation with the data repairs and degradations
+// it absorbed. The zero value means a pristine run.
+type Quality struct {
+	// InvalidSamples counts NaN/Inf meter readings dropped during repair.
+	InvalidSamples int
+	// DuplicatesDropped counts duplicated meter samples collapsed.
+	DuplicatesDropped int
+	// SpikesClipped counts readings clipped to the window median.
+	SpikesClipped int
+	// GapSamplesFilled counts grid points reconstructed by interpolation
+	// (dropouts, dropped invalid readings, truncated tails).
+	GapSamplesFilled int
+	// RunsRetried counts extra run attempts after transient failures.
+	RunsRetried int
+	// RunsFailed counts runs that exhausted their attempt budget.
+	RunsFailed int
+	// FailedStates names the plan states excluded from the tables.
+	FailedStates []string
+	// Notes are human-readable caveats for the report.
+	Notes []string
+}
+
+// Clean reports whether the evaluation needed no repair or degradation.
+func (q *Quality) Clean() bool {
+	return q.InvalidSamples == 0 && q.DuplicatesDropped == 0 &&
+		q.SpikesClipped == 0 && q.GapSamplesFilled == 0 &&
+		q.RunsRetried == 0 && q.RunsFailed == 0 &&
+		len(q.FailedStates) == 0 && len(q.Notes) == 0
+}
+
+// Summary renders the quality annotations as one line.
+func (q *Quality) Summary() string {
+	if q.Clean() {
+		return "quality: clean"
+	}
+	return fmt.Sprintf("quality: %d invalid, %d duplicate, %d spike, %d gap-filled samples; %d retried, %d failed runs",
+		q.InvalidSamples, q.DuplicatesDropped, q.SpikesClipped, q.GapSamplesFilled,
+		q.RunsRetried, q.RunsFailed)
+}
+
+// addRepair folds one window's repair report into the quality record.
+func (q *Quality) addRepair(rep meter.RepairReport) {
+	q.InvalidSamples += rep.Invalid
+	q.DuplicatesDropped += rep.Duplicates
+	q.SpikesClipped += rep.SpikesClipped
+	q.GapSamplesFilled += rep.GapSamplesFilled
+}
+
+// addReports accounts every scheduler job report: extra attempts become
+// RunsRetried, exhausted budgets become RunsFailed with a named state and
+// a note. names[i] labels job i.
+func (q *Quality) addReports(names []string, reports []sched.JobReport) {
+	for i, rep := range reports {
+		if rep.Attempts > 1 {
+			q.RunsRetried += rep.Attempts - 1
+		}
+		if rep.Err != nil {
+			q.RunsFailed++
+			q.FailedStates = append(q.FailedStates, names[i])
+			q.Notes = append(q.Notes, fmt.Sprintf("state %s failed after %d attempts: %v", names[i], rep.Attempts, rep.Err))
+		} else if rep.Attempts > 1 {
+			q.Notes = append(q.Notes, fmt.Sprintf("state %s needed %d attempts", names[i], rep.Attempts))
+		}
+	}
+}
+
+// notes renders the quality annotations as table note lines.
+func (q *Quality) notes() []string {
+	if q.Clean() {
+		return nil
+	}
+	out := []string{q.Summary()}
+	out = append(out, q.Notes...)
+	return out
+}
+
+// EvaluateOpts is Evaluate with optional telemetry, scheduling and fault
+// injection. With an inactive fault profile it is EvaluateWithPool — same
+// bytes, same errors. With an active profile it runs the hardened pipeline:
+// identity-seeded fault injection, bounded per-run retries, per-window
+// trace repair, and graceful degradation with Quality annotations. It
+// fails only when every plan state fails.
+func EvaluateOpts(spec *server.Spec, seed float64, opts EvalOptions) (*Evaluation, error) {
+	if !opts.Fault.Active() {
+		return EvaluateWithPool(spec, seed, opts.Obs, opts.Pool)
+	}
+	o, p := opts.Obs, opts.Pool
+	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
+	defer sp.End()
+	o.Infof("evaluating %s (seed %g, %d jobs, fault profile %s)", spec.Name, seed, p.Workers(), opts.Fault.Name)
+
+	models, err := PlanStates(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.New(spec, seed)
+	engine.Obs = o
+	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "fault"), opts.Ledger)
+	engine.Retry = opts.retry()
+	results, merged, reports := engine.RunPlanPartial(models, 30, p)
+
+	ev := &Evaluation{Server: spec.Name}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	ev.Quality.addReports(names, reports)
+
+	var sumG, sumW, sumPPW float64
+	analysis := sp.Child("analysis")
+	for i, r := range results {
+		if reports[i].Err != nil {
+			continue
+		}
+		state := analysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
+		window := meter.Window(merged, r.Start, r.End)
+		repaired, rep := meter.Repair(window, meter.RepairOpts{
+			Start: r.Start, End: r.End, IntervalSec: engine.Meter.IntervalSec,
+		})
+		ev.Quality.addRepair(rep)
+		o.Counter("core_window_samples_total").Add(int64(len(repaired)))
+		o.Counter("core_repair_actions_total").Add(int64(rep.Total()))
+		o.Counter("core_trim_dropped_samples_total").Add(int64(trimmedCount(len(repaired))))
+		watts := stats.TrimmedMean(meter.Watts(repaired), TrimFrac)
+		row := Row{
+			Program:     r.Model.Name,
+			GFLOPS:      r.Model.GFLOPS,
+			Watts:       watts,
+			PPW:         workload.PPW(r.Model.GFLOPS, watts),
+			MemoryBytes: r.Model.MemoryBytes,
+			DurationSec: r.Model.DurationSec,
+		}
+		ev.Rows = append(ev.Rows, row)
+		sumG += row.GFLOPS
+		sumW += row.Watts
+		sumPPW += row.PPW
+		state.Arg("watts", watts).Arg("repairs", rep.Total()).End()
+	}
+	analysis.End()
+	if len(ev.Rows) == 0 {
+		return nil, fmt.Errorf("core: evaluating %s: all %d plan states failed", spec.Name, len(models))
+	}
+	n := float64(len(ev.Rows))
+	ev.AvgGFLOPS = sumG / n
+	ev.AvgWatts = sumW / n
+	ev.Score = sumPPW / n
+	o.Gauge("core_score", obs.L("server", spec.Name)).Set(ev.Score)
+	o.Infof("evaluated %s: score %.4f over %d/%d states (%s)",
+		spec.Name, ev.Score, len(ev.Rows), len(models), ev.Quality.Summary())
+	return ev, nil
+}
+
+// Green500Opts is Green500 with optional fault injection; under an active
+// profile the Rmax run gets the retry budget and its trace the repair pass,
+// with the outcome recorded on the result's Quality.
+func Green500Opts(spec *server.Spec, seed float64, opts EvalOptions) (*Green500Result, error) {
+	if !opts.Fault.Active() {
+		return Green500WithPool(spec, seed, opts.Obs, opts.Pool)
+	}
+	o, p := opts.Obs, opts.Pool
+	sp := o.Span("green500 "+spec.Name, "evaluate")
+	defer sp.End()
+	m, err := hplPeak(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.New(spec, seed)
+	engine.Obs = o
+	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "g500fault"), opts.Ledger)
+
+	var run sim.RunResult
+	reports := p.RunRetryAll("green500", 1, opts.retry(), func(_, attempt int) error {
+		eng := engine.Fork("green500", strconv.Itoa(attempt))
+		if eng.Fault.RunFails(attempt) {
+			return fault.ErrTransient
+		}
+		r, err := eng.Run(m, 0)
+		if err != nil {
+			return err
+		}
+		run = r
+		return nil
+	})
+	res := &Green500Result{Server: spec.Name, Rmax: m.GFLOPS}
+	res.Quality.addReports([]string{"green500"}, reports)
+	if reports[0].Err != nil {
+		return nil, fmt.Errorf("core: green500 on %s: %w", spec.Name, reports[0].Err)
+	}
+	repaired, rep := meter.Repair(run.PowerLog, meter.RepairOpts{
+		Start: run.Start, End: run.End, IntervalSec: engine.Meter.IntervalSec,
+	})
+	res.Quality.addRepair(rep)
+	res.AvgWatts = stats.TrimmedMean(meter.Watts(repaired), TrimFrac)
+	res.PPW = workload.PPW(m.GFLOPS, res.AvgWatts)
+	return res, nil
+}
+
+// CompareOpts is Compare with optional fault injection: each server's
+// evaluation and Green500 legs run hardened, and the per-server Quality
+// records are collected on the comparison (aligned with Servers).
+func CompareOpts(specs []*server.Spec, seed float64, opts EvalOptions) (*Comparison, error) {
+	if !opts.Fault.Active() {
+		return CompareWithPool(specs, seed, opts.Obs, opts.Pool)
+	}
+	o, p := opts.Obs, opts.Pool
+	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
+	defer cmpSpan.End()
+	type leg struct {
+		ev  *Evaluation
+		g   *Green500Result
+		ssj float64
+	}
+	legs := make([]leg, len(specs))
+	err := p.Run("compare", len(specs), func(i int) error {
+		spec := specs[i]
+		o.Infof("comparing methods on %s", spec.Name)
+		ev, err := EvaluateOpts(spec, seed+float64(i), opts)
+		if err != nil {
+			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
+		}
+		g, err := Green500Opts(spec, seed+float64(i)+0.5, opts)
+		if err != nil {
+			return err
+		}
+		ssjSpan := o.Span("specpower "+spec.Name, "evaluate")
+		sp, err := ssj.Run(spec)
+		ssjSpan.End()
+		if err != nil {
+			return err
+		}
+		legs[i] = leg{ev: ev, g: g, ssj: sp.Score}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{}
+	for i, spec := range specs {
+		c.Servers = append(c.Servers, spec.Name)
+		c.Ours = append(c.Ours, legs[i].ev.Score)
+		c.Green500 = append(c.Green500, legs[i].g.PPW)
+		c.SPECpower = append(c.SPECpower, legs[i].ssj)
+		q := legs[i].ev.Quality
+		q.RunsRetried += legs[i].g.Quality.RunsRetried
+		q.RunsFailed += legs[i].g.Quality.RunsFailed
+		q.addRepairTotals(legs[i].g.Quality)
+		c.Quality = append(c.Quality, q)
+	}
+	return c, nil
+}
+
+// hplPeak is the Green500 Rmax configuration: full cores, full memory.
+func hplPeak(spec *server.Spec) (workload.Model, error) {
+	return hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
+}
+
+// addRepairTotals folds another quality record's repair counters in.
+func (q *Quality) addRepairTotals(other Quality) {
+	q.InvalidSamples += other.InvalidSamples
+	q.DuplicatesDropped += other.DuplicatesDropped
+	q.SpikesClipped += other.SpikesClipped
+	q.GapSamplesFilled += other.GapSamplesFilled
+}

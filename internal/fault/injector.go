@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"math"
+
+	"powerbench/internal/meter"
+	"powerbench/internal/pmu"
+	"powerbench/internal/rng"
+	"powerbench/internal/sched"
+)
+
+// seedSpan normalizes a DeriveSeed value into (0,1).
+const seedSpan = float64(1 << sched.SeedBits)
+
+// Injector applies one profile's faults to one run's observables. Like the
+// meter and PMU generators it wraps its randomness in identity-derived
+// seeds: Reseed at every engine fork gives each run an independent,
+// reproducible corruption stream. A nil injector (or one built from an
+// inactive profile) is a no-op on every method.
+type Injector struct {
+	prof *Profile
+	seed float64
+	led  *Ledger
+}
+
+// New returns an injector for the profile, seeded at seed (derive it with
+// sched.DeriveSeed from the run identity). Injected faults are counted into
+// led; a nil led allocates a private ledger. An inactive profile returns a
+// nil injector, which is the pristine no-op.
+func New(p *Profile, seed float64, led *Ledger) *Injector {
+	if !p.Active() {
+		return nil
+	}
+	if led == nil {
+		led = NewLedger()
+	}
+	return &Injector{prof: p, seed: seed, led: led}
+}
+
+// Reseed returns an injector with the same profile and ledger but a new
+// seed — the fault-layer companion of meter.Clone/pmu.Sampler.Clone in the
+// scheduler's per-run RNG contract. A nil receiver stays nil.
+func (in *Injector) Reseed(seed float64) *Injector {
+	if in == nil {
+		return nil
+	}
+	return &Injector{prof: in.prof, seed: seed, led: in.led}
+}
+
+// Active reports whether the injector will corrupt anything.
+func (in *Injector) Active() bool { return in != nil && in.prof.Active() }
+
+// Profile returns the injector's profile (nil for a nil injector).
+func (in *Injector) Profile() *Profile {
+	if in == nil {
+		return nil
+	}
+	return in.prof
+}
+
+// Ledger returns the shared injected-fault ledger (nil for a nil injector).
+func (in *Injector) Ledger() *Ledger {
+	if in == nil {
+		return nil
+	}
+	return in.led
+}
+
+// stream derives an independent corruption stream for one fault surface, so
+// trace corruption and PMU corruption never share RNG state.
+func (in *Injector) stream(surface string) *rng.Stream {
+	return rng.NewStream(sched.DeriveSeed(in.seed, surface), rng.A)
+}
+
+// RunFails decides whether the given run attempt (1-based) fails
+// transiently. The decision is a pure function of (seed, attempt), so a
+// retried run re-rolls independently while staying bit-reproducible across
+// worker counts and submission orders.
+func (in *Injector) RunFails(attempt int) bool {
+	if in == nil || in.prof.RunFail <= 0 {
+		return false
+	}
+	u := sched.DeriveSeed(in.seed, "fail", itoa(attempt)) / seedSpan
+	if u >= in.prof.RunFail {
+		return false
+	}
+	in.led.add(KindRunFailure, 1)
+	return true
+}
+
+// CorruptTrace applies the profile's per-sample fates and tail truncation
+// to a meter trace, returning the corrupted copy (the input is not
+// modified). A nil injector returns the input unchanged.
+func (in *Injector) CorruptTrace(log []meter.Sample) []meter.Sample {
+	if in == nil || len(log) == 0 {
+		return log
+	}
+	p := in.prof
+	s := in.stream("trace")
+	out := make([]meter.Sample, 0, len(log)+4)
+	for _, smp := range log {
+		switch p.fate(s.Next()) {
+		case fateDrop:
+			in.led.add(KindDropped, 1)
+			continue
+		case fateDup:
+			in.led.add(KindDuplicated, 1)
+			out = append(out, smp, smp)
+			continue
+		case fateSpike:
+			// A 3-13x excursion: far outside any plausible reading, the way
+			// electrical transients register on a watt meter.
+			smp.Watts *= 3 + 10*s.Next()
+			in.led.add(KindSpiked, 1)
+		case fateStuck:
+			if len(out) > 0 {
+				smp.Watts = out[len(out)-1].Watts
+			}
+			in.led.add(KindStuck, 1)
+		case fateNaN:
+			smp.Watts = math.NaN()
+			in.led.add(KindNaN, 1)
+		case fateZero:
+			smp.Watts = 0
+			in.led.add(KindZeroed, 1)
+		}
+		out = append(out, smp)
+	}
+	if p.Truncate > 0 && s.Next() < p.Truncate {
+		frac := 0.1 + 0.2*s.Next()
+		if cut := int(float64(len(out)) * frac); cut > 0 {
+			in.led.add(KindTruncated, int64(cut))
+			out = out[:len(out)-cut]
+		}
+	}
+	return out
+}
+
+// CorruptPMU wraps the counters of randomly chosen windows modulo
+// pmu.CounterModulus, in place, and returns the samples. Only windows where
+// at least one counter actually exceeds the modulus are counted as faults.
+func (in *Injector) CorruptPMU(samples []pmu.Sample) []pmu.Sample {
+	if in == nil || len(samples) == 0 {
+		return samples
+	}
+	p := in.prof
+	if p.Wrap <= 0 {
+		return samples
+	}
+	s := in.stream("pmu")
+	for i := range samples {
+		if s.Next() >= p.Wrap {
+			continue
+		}
+		if pmu.WrapCounters(&samples[i].Counts, pmu.CounterModulus) {
+			in.led.add(KindWrapped, 1)
+		}
+	}
+	return samples
+}
+
+// itoa is strconv.Itoa for the small non-negative ints used in identities,
+// kept local to avoid importing strconv for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,127 @@
+package pmu
+
+import (
+	"reflect"
+	"testing"
+
+	"powerbench/internal/server"
+	"powerbench/internal/workload"
+)
+
+func TestWrapCounters(t *testing.T) {
+	f := Features{Instructions: 3*CounterModulus + 5, L2Hits: 100, WorkingCores: 8}
+	if !WrapCounters(&f, CounterModulus) {
+		t.Fatal("overflowing counter not reported as changed")
+	}
+	if f.Instructions != 5 {
+		t.Errorf("Instructions = %v, want 5 (3 moduli removed)", f.Instructions)
+	}
+	if f.L2Hits != 100 || f.WorkingCores != 8 {
+		t.Errorf("in-range fields modified: %+v", f)
+	}
+
+	small := Features{Instructions: 100, L2Hits: 50}
+	if WrapCounters(&small, CounterModulus) {
+		t.Error("in-range counters reported as changed")
+	}
+	if WrapCounters(&f, 0) {
+		t.Error("zero modulus should be a no-op")
+	}
+}
+
+func TestUnwrapRestoresWrappedWindows(t *testing.T) {
+	mk := func() []Sample {
+		samples := make([]Sample, 12)
+		for i := range samples {
+			samples[i] = Sample{
+				T: float64(i * 10), Interval: 10,
+				Counts: Features{
+					Instructions: 1e11 + float64(i)*1e8,
+					L2Hits:       2e10 + float64(i)*1e7,
+					L3Hits:       5e9,
+					MemReads:     7e9,
+					MemWrites:    3e9,
+					WorkingCores: 16,
+				},
+			}
+		}
+		return samples
+	}
+	orig := mk()
+	damaged := mk()
+	// Wrap two windows the way an unwrapped 32-bit read would.
+	WrapCounters(&damaged[3].Counts, CounterModulus)
+	WrapCounters(&damaged[8].Counts, CounterModulus)
+
+	corrected := Unwrap(damaged, CounterModulus)
+	if corrected == 0 {
+		t.Fatal("Unwrap corrected nothing")
+	}
+	for i := range damaged {
+		if !reflect.DeepEqual(damaged[i].Counts, orig[i].Counts) {
+			t.Errorf("window %d not restored: got %+v want %+v", i, damaged[i].Counts, orig[i].Counts)
+		}
+	}
+}
+
+func TestUnwrapLeavesCleanTraceAlone(t *testing.T) {
+	samples := []Sample{
+		{Counts: Features{Instructions: 1e9}},
+		{Counts: Features{Instructions: 1.1e9}},
+		{Counts: Features{Instructions: 0.9e9}},
+		{Counts: Features{Instructions: 1.05e9}},
+	}
+	before := append([]Sample(nil), samples...)
+	if n := Unwrap(samples, CounterModulus); n != 0 {
+		t.Errorf("clean trace corrected %d values", n)
+	}
+	if !reflect.DeepEqual(samples, before) {
+		t.Error("clean trace modified")
+	}
+}
+
+func TestUnwrapShortTraceUntouched(t *testing.T) {
+	samples := []Sample{
+		{Counts: Features{Instructions: 5}},
+		{Counts: Features{Instructions: 1e11}},
+	}
+	if n := Unwrap(samples, CounterModulus); n != 0 {
+		t.Errorf("2-sample trace corrected %d values; too short for a median", n)
+	}
+}
+
+// TestSamplerCloneIndependence: exhausting a clone's jitter stream must not
+// advance the parent's — the companion of the meter clone test in the
+// scheduler's per-run RNG contract.
+func TestSamplerCloneIndependence(t *testing.T) {
+	spec := server.Xeon4870()
+	m := model("hpl", 8, workload.CharHPL, 8<<30)
+
+	parent := NewSampler(7)
+	twin := NewSampler(7)
+	clone := parent.Clone(99)
+
+	for i := 0; i < 10; i++ {
+		if _, err := clone.Collect(spec, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, err := parent.Collect(spec, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := twin.Collect(spec, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, w) {
+		t.Fatal("burning a clone changed the parent sampler's output")
+	}
+
+	c1, _ := NewSampler(3).Clone(42).Collect(spec, m)
+	c2, _ := NewSampler(9).Clone(42).Collect(spec, m)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("clones with equal seeds produced different samples")
+	}
+}

@@ -101,9 +101,19 @@ func fit(x [][]float64, y []float64, intercept bool) (*Model, error) {
 }
 
 func fitFull(x [][]float64, y []float64, intercept bool, lambda float64) (*Model, error) {
+	return fitWeighted(x, y, nil, intercept, lambda)
+}
+
+// fitWeighted solves the (optionally weighted) normal equations
+// XᵀWX b = XᵀWy. A nil weight slice is ordinary least squares; the robust
+// IRLS loop of FitHuber passes per-observation Huber weights.
+func fitWeighted(x [][]float64, y, w []float64, intercept bool, lambda float64) (*Model, error) {
 	n := len(x)
 	if n == 0 || len(y) != n {
 		return nil, ErrNoData
+	}
+	if w != nil && len(w) != n {
+		return nil, ErrDimension
 	}
 	k := len(x[0])
 	for _, row := range x {
@@ -136,17 +146,25 @@ func fitFull(x [][]float64, y []float64, intercept bool, lambda float64) (*Model
 		}
 		return row[j]
 	}
-	for _, row := range x {
+	weight := func(i int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[i]
+	}
+	for idx, row := range x {
+		wi := weight(idx)
 		for i := 0; i < dim; i++ {
-			vi := at(row, i)
+			vi := wi * at(row, i)
 			for j := i; j < dim; j++ {
 				ata[i][j] += vi * at(row, j)
 			}
 		}
 	}
 	for idx, row := range x {
+		wi := weight(idx)
 		for i := 0; i < dim; i++ {
-			aty[i] += at(row, i) * y[idx]
+			aty[i] += wi * at(row, i) * y[idx]
 		}
 	}
 	// Mirror the upper triangle.
@@ -226,15 +244,28 @@ func (m *Model) computeSummary(x [][]float64, y []float64) {
 }
 
 // solve performs Gaussian elimination with partial pivoting on a copy of
-// a·x = b and returns x.
+// a·x = b and returns x. A pivot that vanishes relative to the matrix scale
+// means the normal equations are (numerically) rank-deficient — duplicated
+// or collinear predictor columns — and solving on would manufacture huge
+// cancelling coefficients, so ErrSingular is returned instead.
 func solve(a [][]float64, b []float64) ([]float64, error) {
 	n := len(a)
 	// Work on copies: callers may reuse the inputs.
 	m := make([][]float64, n)
+	scale := 0.0
 	for i := range m {
 		m[i] = append([]float64(nil), a[i]...)
+		for _, v := range m[i] {
+			if abs := math.Abs(v); abs > scale {
+				scale = abs
+			}
+		}
 	}
 	v := append([]float64(nil), b...)
+	// Pivots at or below scale·1e-12 are elimination residue of an exactly
+	// dependent column, not signal; well-conditioned (z-scored) designs sit
+	// many orders of magnitude above this.
+	tol := scale * 1e-12
 
 	for col := 0; col < n; col++ {
 		// Partial pivot.
@@ -245,7 +276,7 @@ func solve(a [][]float64, b []float64) ([]float64, error) {
 				best, piv = abs, r
 			}
 		}
-		if best == 0 || math.IsNaN(best) {
+		if best <= tol || math.IsNaN(best) {
 			return nil, ErrSingular
 		}
 		m[col], m[piv] = m[piv], m[col]

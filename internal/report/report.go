@@ -13,10 +13,18 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+	// Notes are free-form annotation lines rendered after the rows — the
+	// evaluation pipeline uses them for data-quality caveats (repaired
+	// samples, failed states). An empty Notes slice leaves the rendering
+	// byte-identical to a note-free table.
+	Notes []string
 }
 
 // AddRow appends a row of stringified cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends an annotation line.
+func (t *Table) AddNote(note string) { t.Notes = append(t.Notes, note) }
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
@@ -53,6 +61,9 @@ func (t *Table) String() string {
 	for _, row := range t.Rows {
 		line(row)
 	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
 	return b.String()
 }
 
@@ -64,6 +75,9 @@ func (t *Table) TSV() string {
 	for _, row := range t.Rows {
 		b.WriteString(strings.Join(row, "\t"))
 		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
 	}
 	return b.String()
 }

@@ -23,9 +23,24 @@
 //
 // The pool is instrumented through internal/obs: a queue-depth gauge, a
 // span per worker (with one child span per executed job), and counters
-// for dispatched, failed and "stolen" jobs (jobs executed by a worker
-// other than their round-robin home — a measure of how unevenly the work
-// divided).
+// for dispatched, failed, retried, given-up and "stolen" jobs (jobs
+// executed by a worker other than their round-robin home — a measure of
+// how unevenly the work divided).
+//
+// # Failure contract
+//
+// A failing job is never silently dropped. Run executes every job to
+// completion even when some fail, and returns the error of the lowest
+// failing index — so a permanently failing run always surfaces to the
+// caller, deterministically, regardless of scheduling. RunRetryAll is the
+// fault-tolerant form: each job gets up to Retry.Attempts attempts (with
+// optional capped exponential backoff between them), and the caller
+// receives one JobReport per index recording how many attempts were spent
+// and the final error, nil if any attempt succeeded. A job that exhausts
+// its attempts keeps its last error in its report ("give-up"); callers that
+// degrade gracefully must inspect the reports and account for every
+// non-nil error — the evaluation pipeline converts them into explicit
+// quality annotations.
 package sched
 
 import (
@@ -33,6 +48,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"powerbench/internal/obs"
 )
@@ -81,6 +97,54 @@ func (p *Pool) Workers() int {
 // the same pool (Compare does, one nested fan-out per server) without
 // deadlock, because every call brings its own workers.
 func (p *Pool) Run(label string, n int, job func(i int) error) error {
+	reports := p.RunRetryAll(label, n, Retry{}, func(i, _ int) error { return job(i) })
+	for _, rep := range reports {
+		if rep.Err != nil {
+			return rep.Err
+		}
+	}
+	return nil
+}
+
+// Retry bounds the per-job attempt budget of RunRetryAll. The zero value
+// means a single attempt (no retries).
+type Retry struct {
+	// Attempts is the maximum number of attempts per job; values below 1
+	// behave as 1.
+	Attempts int
+	// Backoff is the sleep before the second attempt; it doubles per
+	// further attempt, capped at 16x. Zero disables sleeping, which is what
+	// the simulation paths use — against real hardware the backoff gives a
+	// glitching acquisition chain time to recover.
+	Backoff time.Duration
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+// JobReport records the outcome of one job of a RunRetryAll fan-out.
+type JobReport struct {
+	// Attempts is how many attempts the job consumed (1 if it succeeded
+	// first try).
+	Attempts int
+	// Err is the job's final error; nil if some attempt succeeded. A job
+	// that exhausted its attempts keeps the error of the last one.
+	Err error
+}
+
+// RunRetryAll is Run with a per-job retry budget and per-job outcome
+// reporting: every job runs to a verdict (success or exhausted attempts),
+// and the returned slice holds one report per index — scheduling cannot
+// reorder or drop them. The job function receives its index and the
+// 1-based attempt number, so deterministic callers can derive per-attempt
+// randomness from (index, attempt) identity. Retries and give-ups are
+// counted on the sched_job_retries_total and sched_job_giveups_total
+// counters.
+func (p *Pool) RunRetryAll(label string, n int, r Retry, job func(i, attempt int) error) []JobReport {
 	if n <= 0 {
 		return nil
 	}
@@ -96,7 +160,8 @@ func (p *Pool) Run(label string, n int, job func(i int) error) error {
 	queue := o.Gauge("sched_queue_depth")
 	queue.Add(float64(n))
 
-	errs := make([]error, n)
+	attempts := r.attempts()
+	reports := make([]JobReport, n)
 	var next int64 = -1
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -119,19 +184,35 @@ func (p *Pool) Run(label string, n int, job func(i int) error) error {
 					o.Counter("sched_jobs_stolen_total").Inc()
 				}
 				js := sp.Child(fmt.Sprintf("%s job %d", label, i))
-				if err := job(i); err != nil {
-					errs[i] = err
+				var err error
+				for a := 1; a <= attempts; a++ {
+					if a > 1 {
+						o.Counter("sched_job_retries_total").Inc()
+						if r.Backoff > 0 {
+							shift := a - 2
+							if shift > 4 {
+								shift = 4
+							}
+							time.Sleep(r.Backoff << uint(shift))
+						}
+					}
+					err = job(i, a)
+					reports[i].Attempts = a
+					if err == nil {
+						break
+					}
+				}
+				if err != nil {
+					reports[i].Err = err
 					o.Counter("sched_jobs_failed_total").Inc()
+					if attempts > 1 {
+						o.Counter("sched_job_giveups_total").Inc()
+					}
 				}
 				js.End()
 			}
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return reports
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"powerbench/internal/fault"
 	"powerbench/internal/meter"
 	"powerbench/internal/sched"
 	"powerbench/internal/workload"
@@ -43,6 +44,24 @@ func Timeline(models []workload.Model, gapSec float64) []float64 {
 // therefore byte-identical for any worker count, including a nil
 // (sequential) pool.
 func (e *Engine) RunPlan(models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, error) {
+	results, merged, reports := e.RunPlanPartial(models, gapSec, pool)
+	for i, rep := range reports {
+		if rep.Err != nil {
+			return nil, nil, fmt.Errorf("sim: running %s: %w", models[i].Name, rep.Err)
+		}
+	}
+	return results, merged, nil
+}
+
+// RunPlanPartial is RunPlan's graceful-degradation form: runs execute with
+// the engine's Retry budget, failed runs are excluded from the merged log
+// instead of aborting the session, and the caller receives one
+// sched.JobReport per plan index to account for every retry and give-up.
+// The idle gaps are always recorded, so the merged log of a partial session
+// stays on the canonical timeline. Determinism is unchanged from RunPlan:
+// identity-seeded forks, canonical-order reassembly, and per-attempt fault
+// decisions that are pure functions of (identity, attempt).
+func (e *Engine) RunPlanPartial(models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, []sched.JobReport) {
 	starts := Timeline(models, gapSec)
 	sp := e.Obs.Span("plan", "run").Arg("models", len(models)).Arg("jobs", pool.Workers())
 	defer sp.End()
@@ -59,18 +78,18 @@ func (e *Engine) RunPlan(models []workload.Model, gapSec float64, pool *sched.Po
 	}
 
 	results := make([]RunResult, len(models))
-	err := pool.Run("sim", len(models), func(i int) error {
+	reports := pool.RunRetryAll("sim", len(models), e.Retry, func(i, attempt int) error {
 		eng := e.Fork("run", strconv.Itoa(i), models[i].Name)
+		if eng.Fault.RunFails(attempt) {
+			return fault.ErrTransient
+		}
 		r, err := eng.run(models[i], starts[i], nil)
 		if err != nil {
-			return fmt.Errorf("sim: running %s: %w", models[i].Name, err)
+			return err
 		}
 		results[i] = r
 		return nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
 
 	logs := make([][]meter.Sample, 0, 2*len(models))
 	end := 0.0
@@ -78,9 +97,12 @@ func (e *Engine) RunPlan(models []workload.Model, gapSec float64, pool *sched.Po
 		if gaps[i] != nil {
 			logs = append(logs, gaps[i])
 		}
+		if reports[i].Err != nil {
+			continue
+		}
 		logs = append(logs, r.PowerLog)
 		end = r.End
 	}
 	sp.SetVirtual(0, end)
-	return results, meter.Merge(logs...), nil
+	return results, meter.Merge(logs...), reports
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"powerbench/internal/fault"
 	"powerbench/internal/meter"
 	"powerbench/internal/obs"
 	"powerbench/internal/pmu"
@@ -37,6 +38,16 @@ type Engine struct {
 	// simulation's virtual clock) and sample counters. Nil disables
 	// telemetry at the cost of a pointer check.
 	Obs *obs.Obs
+
+	// Fault optionally corrupts the run's observables (meter trace, PMU
+	// windows, run execution) after recording, for chaos testing. Fork
+	// reseeds it by run identity like the meter and PMU streams. Nil — the
+	// default — leaves every byte of the clean pipeline untouched.
+	Fault *fault.Injector
+	// Retry is the per-run attempt budget RunPlanPartial hands the
+	// scheduler. The zero value (single attempt) preserves Run's historic
+	// fail-fast reporting.
+	Retry sched.Retry
 
 	// seed is the base seed New was called with; Fork derives per-run
 	// seeds from it by identity.
@@ -72,6 +83,7 @@ func (e *Engine) Fork(parts ...string) *Engine {
 	f := *e
 	f.Meter = e.Meter.Clone(seed)
 	f.PMU = e.PMU.Clone(seed + 1)
+	f.Fault = e.Fault.Reseed(sched.DeriveSeed(seed, "fault"))
 	f.seed = seed
 	return &f
 }
@@ -151,6 +163,7 @@ func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResu
 
 	meterSpan := sp.Child("meter record")
 	log := e.Meter.Record(start, end, powerAt)
+	log = e.Fault.CorruptTrace(log)
 	meterSpan.Arg("samples", len(log)).End()
 
 	pmuSpan := sp.Child("pmu collect")
@@ -162,6 +175,7 @@ func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResu
 	for i := range samples {
 		samples[i].T += start
 	}
+	samples = e.Fault.CorruptPMU(samples)
 	pmuSpan.Arg("windows", len(samples)).End()
 
 	mem := make([]float64, 0, int(m.DurationSec)+1)
