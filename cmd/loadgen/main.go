@@ -1,0 +1,194 @@
+// Command loadgen hammers a running powerbenchd with concurrent identical
+// or varied requests, gmeter-style, and reports throughput, latency
+// percentiles and the daemon's cache behavior. It is the measurement
+// client for the serve layer: cache-hit traffic exercises the LRU path,
+// -vary-seeds forces misses through admission control, and the status
+// histogram makes 429/504 behavior visible under overload.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-endpoint /v1/evaluate]
+//	        [-server name] [-seed n] [-body json] [-n 1000] [-c 8]
+//	        [-vary-seeds] [-no-warm] [-timeout d]
+//
+// By default one untimed warm-up request populates the daemon's cache so
+// the timed run measures steady-state (cache-hit) serving; -no-warm and
+// -vary-seeds measure the compute path instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type result struct {
+	status  int // 0 = transport error
+	cache   string
+	latency time.Duration
+}
+
+func buildBody(body, server string, seed float64, vary bool, i int) string {
+	if body != "" {
+		return body
+	}
+	s := seed
+	if vary {
+		s += float64(i)
+	}
+	return fmt.Sprintf(`{"server":%q,"seed":%g}`, server, s)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseURL := fs.String("url", "http://127.0.0.1:8080", "powerbenchd base URL")
+	endpoint := fs.String("endpoint", "/v1/evaluate", "endpoint to hit (POST unless it starts with /healthz, /metrics or /v1/servers)")
+	serverName := fs.String("server", "Xeon-E5462", "server name in the generated request body")
+	seed := fs.Float64("seed", 1, "seed in the generated request body")
+	body := fs.String("body", "", "raw JSON request body (overrides -server/-seed)")
+	n := fs.Int("n", 1000, "total requests")
+	c := fs.Int("c", 8, "concurrent connections")
+	varySeeds := fs.Bool("vary-seeds", false, "give every request a distinct seed (defeats cache and dedup)")
+	noWarm := fs.Bool("no-warm", false, "skip the untimed cache warm-up request")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n < 1 || *c < 1 {
+		fmt.Fprintln(stderr, "loadgen: -n and -c must be at least 1")
+		return 2
+	}
+
+	target := strings.TrimSuffix(*baseURL, "/") + *endpoint
+	get := strings.HasPrefix(*endpoint, "/healthz") ||
+		strings.HasPrefix(*endpoint, "/metrics") ||
+		strings.HasPrefix(*endpoint, "/v1/servers")
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *c,
+			MaxIdleConnsPerHost: *c,
+		},
+	}
+
+	shoot := func(i int) result {
+		var (
+			resp *http.Response
+			err  error
+		)
+		start := time.Now()
+		if get {
+			resp, err = client.Get(target)
+		} else {
+			resp, err = client.Post(target, "application/json",
+				strings.NewReader(buildBody(*body, *serverName, *seed, *varySeeds, i)))
+		}
+		lat := time.Since(start)
+		if err != nil {
+			return result{latency: lat}
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return result{status: resp.StatusCode, cache: resp.Header.Get("X-Powerbench-Cache"), latency: lat}
+	}
+
+	if !*noWarm && !*varySeeds {
+		if r := shoot(0); r.status == 0 {
+			fmt.Fprintf(stderr, "loadgen: warm-up request to %s failed (is powerbenchd running?)\n", target)
+			return 1
+		}
+	}
+
+	results := make([]result, *n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= *n {
+					return
+				}
+				results[i] = shoot(i)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate.
+	statuses := map[int]int{}
+	caches := map[string]int{}
+	lats := make([]time.Duration, 0, *n)
+	transportErrs := 0
+	for _, r := range results {
+		if r.status == 0 {
+			transportErrs++
+			continue
+		}
+		statuses[r.status]++
+		if r.cache != "" {
+			caches[r.cache]++
+		}
+		lats = append(lats, r.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i]
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000) }
+
+	fmt.Fprintf(stdout, "loadgen: %d requests to %s, concurrency %d, %.3fs elapsed\n",
+		*n, target, *c, elapsed.Seconds())
+	fmt.Fprintf(stdout, "throughput: %.1f req/s\n", float64(*n)/elapsed.Seconds())
+	if len(lats) > 0 {
+		fmt.Fprintf(stdout, "latency: min %s  p50 %s  p90 %s  p99 %s  max %s\n",
+			ms(lats[0]), ms(pct(0.50)), ms(pct(0.90)), ms(pct(0.99)), ms(lats[len(lats)-1]))
+	}
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	parts := make([]string, 0, len(codes)+1)
+	for _, code := range codes {
+		parts = append(parts, fmt.Sprintf("%d x %d", code, statuses[code]))
+	}
+	if transportErrs > 0 {
+		parts = append(parts, fmt.Sprintf("transport-error x %d", transportErrs))
+	}
+	fmt.Fprintf(stdout, "status: %s\n", strings.Join(parts, ", "))
+	if len(caches) > 0 {
+		fmt.Fprintf(stdout, "cache: hit %d, miss %d, dedup %d\n",
+			caches["hit"], caches["miss"], caches["dedup"])
+	}
+	if transportErrs > 0 {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

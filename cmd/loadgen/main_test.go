@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// The generator must drive the configured request count at the configured
+// concurrency and report throughput, latency percentiles and cache counts.
+func TestLoadgenReport(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			t.Errorf("method %s, want POST", r.Method)
+		}
+		how := "miss"
+		if hits.Add(1) > 1 {
+			how = "hit"
+		}
+		w.Header().Set("X-Powerbench-Cache", how)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"Server":"stub"}`))
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-url", ts.URL, "-n", "50", "-c", "4"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"50 requests", "req/s", "p50", "p99", "status: 200 x 50", "cache: hit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// 50 timed requests + 1 warm-up.
+	if got := hits.Load(); got != 51 {
+		t.Errorf("server saw %d requests, want 51 (50 + warm-up)", got)
+	}
+}
+
+// -vary-seeds must issue distinct bodies (every request a cache miss).
+func TestLoadgenVarySeeds(t *testing.T) {
+	seen := make(chan string, 64)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b bytes.Buffer
+		b.ReadFrom(r.Body)
+		seen <- b.String()
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-url", ts.URL, "-n", "8", "-c", "2", "-vary-seeds"}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("exit code %d", rc)
+	}
+	close(seen)
+	bodies := map[string]bool{}
+	for b := range seen {
+		if bodies[b] {
+			t.Errorf("duplicate body %q under -vary-seeds", b)
+		}
+		bodies[b] = true
+	}
+	if len(bodies) != 8 {
+		t.Errorf("saw %d distinct bodies, want 8 (no warm-up under -vary-seeds)", len(bodies))
+	}
+}
+
+// GET endpoints are probed with GET.
+func TestLoadgenGetEndpoint(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			t.Errorf("method %s, want GET", r.Method)
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-url", ts.URL, "-endpoint", "/healthz", "-n", "5", "-c", "1"}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("exit code %d", rc)
+	}
+}
+
+// A dead target reports failure with exit code 1.
+func TestLoadgenDeadTarget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-url", "http://127.0.0.1:1", "-n", "3", "-c", "1", "-no-warm"}, &stdout, &stderr)
+	if rc != 1 {
+		t.Fatalf("exit code %d, want 1", rc)
+	}
+	if !strings.Contains(stdout.String(), "transport-error") {
+		t.Errorf("report missing transport errors:\n%s", stdout.String())
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-n", "0"}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("exit code %d, want 2", rc)
+	}
+}

@@ -1,0 +1,116 @@
+// Command powerbenchd serves the power-evaluation pipeline over HTTP/JSON:
+// the paper's method as a long-running service instead of a one-shot CLI.
+//
+// Usage:
+//
+//	powerbenchd [-addr host:port] [-jobs n] [-max-inflight n]
+//	            [-cache-entries n] [-max-timeout d]
+//	            [-v] [-q] [-metrics-out file] [-trace-out file]
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   run the §V method on a server spec
+//	POST /v1/green500   PPW-at-peak (§III-B)
+//	POST /v1/compare    all three methods across servers (§V-C3)
+//	GET  /v1/servers    the built-in Table I specs
+//	GET  /metrics       Prometheus exposition of the live registry
+//	GET  /healthz       liveness probe
+//
+// Identical requests are deduplicated and cached (content-addressed on the
+// canonical spec/seed/options hash), admission control answers 429 +
+// Retry-After beyond -max-inflight concurrent computations, and SIGINT/
+// SIGTERM drain in-flight work before exit. -metrics-out/-trace-out write
+// their exporter files after the drain, capturing the daemon's whole life.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powerbench/internal/obs"
+	"powerbench/internal/serve"
+)
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powerbenchd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	jobs := fs.Int("jobs", 0, "scheduler workers per request (0 = one per CPU)")
+	maxInFlight := fs.Int("max-inflight", 0, "concurrent computations before 429 (0 = one per CPU)")
+	cacheEntries := fs.Int("cache-entries", 0, "result cache bound in entries (0 = 512)")
+	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "ceiling on per-request deadlines")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight work")
+	var cli obs.CLI
+	cli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	o := cli.NewObs(stdout, stderr)
+	log := o.Log
+
+	svc := serve.New(serve.Config{
+		Obs:          o,
+		Jobs:         *jobs,
+		MaxInFlight:  *maxInFlight,
+		CacheEntries: *cacheEntries,
+		MaxTimeout:   *maxTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// The resolved address (not the flag) so port 0 is discoverable.
+	log.Reportf("powerbenchd listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain connections, then drain the
+	// service's in-flight computations.
+	o.Infof("shutting down (drain budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	rc := 0
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "powerbenchd: connection drain: %v\n", err)
+		rc = 1
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "powerbenchd: computation drain: %v\n", err)
+		rc = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, err)
+		rc = 1
+	}
+	log.Reportf("powerbenchd shut down cleanly\n")
+	if frc := cli.Flush(o, stderr); rc == 0 {
+		rc = frc
+	}
+	return rc
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the daemon logs into while the
+// test polls it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// The daemon lifecycle end to end: boot on a random port, answer healthz,
+// evaluate and metrics, then shut down cleanly on context cancellation
+// (the signal path) with exit code 0.
+func TestDaemonLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	rc := make(chan int, 1)
+	go func() { rc <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &stdout, &stderr) }()
+
+	// Wait for the resolved listen address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stdout: %q stderr: %q", stdout.String(), stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	resp, err := http.Post(base+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"server":"Xeon-E5462","seed":1}`))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	evalBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(evalBody), `"Server": "Xeon-E5462"`) {
+		t.Fatalf("evaluate: %d %s", resp.StatusCode, evalBody)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "http_requests_total") ||
+		!strings.Contains(body, "serve_compute_total") {
+		t.Fatalf("metrics: %d (missing service counters)", code)
+	}
+
+	// Cancel = SIGTERM path: the daemon must drain and exit 0.
+	cancel()
+	select {
+	case code := <-rc:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after cancellation")
+	}
+	if !strings.Contains(stdout.String(), "shut down cleanly") {
+		t.Errorf("missing clean-shutdown report in stdout: %q", stdout.String())
+	}
+}
+
+// A busy port must fail fast with a nonzero exit code, not hang.
+func TestDaemonListenFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	if rc := run(ctx, []string{"-addr", "256.256.256.256:1"}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("exit code %d, want 1", rc)
+	}
+	if stderr.String() == "" {
+		t.Error("listen failure produced no diagnostic")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if rc := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); rc != 2 {
+		t.Fatalf("exit code %d, want 2", rc)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+
+	"powerbench/internal/server"
+)
+
+// This file is the context-aware surface of the evaluation pipeline, the
+// entry points the serve layer (DESIGN.md §9) calls on behalf of HTTP
+// requests. Each *Ctx function runs the exact same method as its
+// context-free counterpart — same bytes, same errors — but threads ctx
+// into the scheduler so a cancelled request (client disconnect, deadline)
+// stops the dispatch of pending simulation runs. Runs already executing
+// finish; the simulation kernels have no preemption points, and partial
+// results would break the canonical-order reassembly contract.
+
+// EvaluateCtx is EvaluateOpts under a context. With an inactive fault
+// profile it is byte-identical to EvaluateWithPool; cancellation surfaces
+// as an error wrapping ctx.Err() (clean path) or, on the hardened path, as
+// give-up reports on the undispatched states.
+func EvaluateCtx(ctx context.Context, spec *server.Spec, seed float64, opts EvalOptions) (*Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !opts.Fault.Active() {
+		return evaluateCleanCtx(ctx, spec, seed, opts.Obs, opts.Pool)
+	}
+	return evaluateFaultCtx(ctx, spec, seed, opts)
+}
+
+// Green500Ctx is Green500Opts under a context.
+func Green500Ctx(ctx context.Context, spec *server.Spec, seed float64, opts EvalOptions) (*Green500Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !opts.Fault.Active() {
+		return green500CleanCtx(ctx, spec, seed, opts.Obs, opts.Pool)
+	}
+	return green500FaultCtx(ctx, spec, seed, opts)
+}
+
+// CompareCtx is CompareOpts under a context; the per-server legs and their
+// nested state fan-outs all share ctx, so one cancellation drains the whole
+// comparison.
+func CompareCtx(ctx context.Context, specs []*server.Spec, seed float64, opts EvalOptions) (*Comparison, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !opts.Fault.Active() {
+		return compareCleanCtx(ctx, specs, seed, opts.Obs, opts.Pool)
+	}
+	return compareFaultCtx(ctx, specs, seed, opts)
+}

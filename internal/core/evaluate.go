@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -162,6 +163,13 @@ func EvaluateWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Evaluation, 
 // over the merged log stays sequential; it is a trivial fraction of the
 // work.
 func EvaluateWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Evaluation, error) {
+	return evaluateCleanCtx(context.Background(), spec, seed, o, p)
+}
+
+// evaluateCleanCtx is the clean-path evaluation body shared by
+// EvaluateWithPool and EvaluateCtx; ctx cancellation stops the dispatch of
+// pending plan states and fails the evaluation.
+func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Evaluation, error) {
 	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
 	o.Infof("evaluating %s (seed %g, %d jobs)", spec.Name, seed, p.Workers())
@@ -172,7 +180,7 @@ func EvaluateWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool
 	}
 	engine := sim.New(spec, seed)
 	engine.Obs = o
-	results, merged, err := engine.RunPlan(models, 30, p)
+	results, merged, err := engine.RunPlanCtx(ctx, models, 30, p)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +258,12 @@ func Green500WithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Green500Resu
 // show up in the pool's telemetry. One run has nothing to parallelize; the
 // pool only provides dispatch and accounting.
 func Green500WithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Green500Result, error) {
+	return green500CleanCtx(context.Background(), spec, seed, o, p)
+}
+
+// green500CleanCtx is the clean-path Green500 body shared by
+// Green500WithPool and Green500Ctx.
+func green500CleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Green500Result, error) {
 	sp := o.Span("green500 "+spec.Name, "evaluate")
 	defer sp.End()
 	m, err := hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
@@ -259,7 +273,7 @@ func Green500WithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool
 	engine := sim.New(spec, seed)
 	engine.Obs = o
 	var run sim.RunResult
-	err = p.Run("green500", 1, func(int) error {
+	err = p.RunCtx(ctx, "green500", 1, func(int) error {
 		var err error
 		run, err = engine.Run(m, 0)
 		return err
@@ -306,6 +320,12 @@ func CompareWithObs(specs []*server.Spec, seed float64, o *obs.Obs) (*Comparison
 // input order after the barrier, so the comparison is byte-identical at
 // every worker count.
 func CompareWithPool(specs []*server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Comparison, error) {
+	return compareCleanCtx(context.Background(), specs, seed, o, p)
+}
+
+// compareCleanCtx is the clean-path comparison body shared by
+// CompareWithPool and CompareCtx.
+func compareCleanCtx(ctx context.Context, specs []*server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Comparison, error) {
 	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
 	defer cmpSpan.End()
 	type leg struct {
@@ -314,14 +334,14 @@ func CompareWithPool(specs []*server.Spec, seed float64, o *obs.Obs, p *sched.Po
 		ssj float64
 	}
 	legs := make([]leg, len(specs))
-	err := p.Run("compare", len(specs), func(i int) error {
+	err := p.RunCtx(ctx, "compare", len(specs), func(i int) error {
 		spec := specs[i]
 		o.Infof("comparing methods on %s", spec.Name)
-		ev, err := EvaluateWithPool(spec, seed+float64(i), o, p)
+		ev, err := evaluateCleanCtx(ctx, spec, seed+float64(i), o, p)
 		if err != nil {
 			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := Green500WithPool(spec, seed+float64(i)+0.5, o, p)
+		g, err := green500CleanCtx(ctx, spec, seed+float64(i)+0.5, o, p)
 		if err != nil {
 			return err
 		}

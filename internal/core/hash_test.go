@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"powerbench/internal/server"
+)
+
+// Reordering fields in a JSON spec must not change the canonical hash: the
+// hash is a function of the decoded struct, not of the wire bytes.
+func TestCanonicalHashJSONFieldOrderInvariant(t *testing.T) {
+	a := `{
+		"Name": "custom", "ProcessorType": "TestChip", "Cores": 8, "Chips": 2,
+		"FreqMHz": 2500, "GFLOPSPerCore": 10, "MemoryBytes": 8589934592,
+		"MemBWBytesPerSec": 2.5e10, "IdleWatts": 120
+	}`
+	b := `{
+		"IdleWatts": 120, "MemBWBytesPerSec": 2.5e10, "MemoryBytes": 8589934592,
+		"GFLOPSPerCore": 10, "FreqMHz": 2500,
+		"Chips": 2, "Cores": 8, "ProcessorType": "TestChip", "Name": "custom"
+	}`
+	var sa, sb server.Spec
+	if err := json.Unmarshal([]byte(a), &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &sb); err != nil {
+		t.Fatal(err)
+	}
+	opts := HashOpts{Method: "evaluate"}
+	ha := CanonicalHash(&sa, 1, opts)
+	hb := CanonicalHash(&sb, 1, opts)
+	if ha != hb {
+		t.Errorf("field reordering changed the hash:\n  %s\n  %s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Errorf("hash %q is not a sha256 hex digest", ha)
+	}
+}
+
+// Every input the hash covers must perturb it.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := server.XeonE5462()
+	opts := HashOpts{Method: "evaluate"}
+	h0 := CanonicalHash(base, 1, opts)
+
+	if h := CanonicalHash(base, 2, opts); h == h0 {
+		t.Error("seed change did not change the hash")
+	}
+	if h := CanonicalHash(base, 1, HashOpts{Method: "green500"}); h == h0 {
+		t.Error("method change did not change the hash")
+	}
+	if h := CanonicalHash(base, 1, HashOpts{Method: "evaluate", FaultProfile: "heavy"}); h == h0 {
+		t.Error("fault profile change did not change the hash")
+	}
+	mod := server.XeonE5462()
+	mod.IdleWatts++
+	if h := CanonicalHash(mod, 1, opts); h == h0 {
+		t.Error("spec change did not change the hash")
+	}
+	// Adjacent string fields must not alias under concatenation.
+	x := server.XeonE5462()
+	x.Name, x.ProcessorType = "ab", "c"
+	y := server.XeonE5462()
+	y.Name, y.ProcessorType = "a", "bc"
+	if CanonicalHash(x, 1, opts) == CanonicalHash(y, 1, opts) {
+		t.Error("adjacent string fields alias in the canonical rendering")
+	}
+}
+
+// "" and "none" both name the clean path and must hash identically, and the
+// hash must be stable across calls (no map iteration, no time).
+func TestCanonicalHashStability(t *testing.T) {
+	spec := server.Xeon4870()
+	a := CanonicalHash(spec, 7, HashOpts{Method: "evaluate", FaultProfile: ""})
+	b := CanonicalHash(spec, 7, HashOpts{Method: "evaluate", FaultProfile: "none"})
+	if a != b {
+		t.Errorf("empty and %q fault profiles hash differently", "none")
+	}
+	for i := 0; i < 10; i++ {
+		if got := CanonicalHash(spec, 7, HashOpts{Method: "evaluate"}); got != a {
+			t.Fatalf("hash not stable across calls: %s vs %s", got, a)
+		}
+	}
+}

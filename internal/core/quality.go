@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -133,9 +134,12 @@ func (q *Quality) notes() []string {
 // trace repair, and graceful degradation with Quality annotations. It
 // fails only when every plan state fails.
 func EvaluateOpts(spec *server.Spec, seed float64, opts EvalOptions) (*Evaluation, error) {
-	if !opts.Fault.Active() {
-		return EvaluateWithPool(spec, seed, opts.Obs, opts.Pool)
-	}
+	return EvaluateCtx(context.Background(), spec, seed, opts)
+}
+
+// evaluateFaultCtx is the hardened evaluation body shared by EvaluateOpts
+// and EvaluateCtx when a fault profile is active.
+func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts EvalOptions) (*Evaluation, error) {
 	o, p := opts.Obs, opts.Pool
 	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
@@ -149,7 +153,7 @@ func EvaluateOpts(spec *server.Spec, seed float64, opts EvalOptions) (*Evaluatio
 	engine.Obs = o
 	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "fault"), opts.Ledger)
 	engine.Retry = opts.retry()
-	results, merged, reports := engine.RunPlanPartial(models, 30, p)
+	results, merged, reports := engine.RunPlanPartialCtx(ctx, models, 30, p)
 
 	ev := &Evaluation{Server: spec.Name}
 	names := make([]string, len(models))
@@ -206,9 +210,12 @@ func EvaluateOpts(spec *server.Spec, seed float64, opts EvalOptions) (*Evaluatio
 // profile the Rmax run gets the retry budget and its trace the repair pass,
 // with the outcome recorded on the result's Quality.
 func Green500Opts(spec *server.Spec, seed float64, opts EvalOptions) (*Green500Result, error) {
-	if !opts.Fault.Active() {
-		return Green500WithPool(spec, seed, opts.Obs, opts.Pool)
-	}
+	return Green500Ctx(context.Background(), spec, seed, opts)
+}
+
+// green500FaultCtx is the hardened Green500 body shared by Green500Opts and
+// Green500Ctx when a fault profile is active.
+func green500FaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts EvalOptions) (*Green500Result, error) {
 	o, p := opts.Obs, opts.Pool
 	sp := o.Span("green500 "+spec.Name, "evaluate")
 	defer sp.End()
@@ -221,7 +228,7 @@ func Green500Opts(spec *server.Spec, seed float64, opts EvalOptions) (*Green500R
 	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "g500fault"), opts.Ledger)
 
 	var run sim.RunResult
-	reports := p.RunRetryAll("green500", 1, opts.retry(), func(_, attempt int) error {
+	reports := p.RunRetryAllCtx(ctx, "green500", 1, opts.retry(), func(_, attempt int) error {
 		eng := engine.Fork("green500", strconv.Itoa(attempt))
 		if eng.Fault.RunFails(attempt) {
 			return fault.ErrTransient
@@ -251,9 +258,12 @@ func Green500Opts(spec *server.Spec, seed float64, opts EvalOptions) (*Green500R
 // evaluation and Green500 legs run hardened, and the per-server Quality
 // records are collected on the comparison (aligned with Servers).
 func CompareOpts(specs []*server.Spec, seed float64, opts EvalOptions) (*Comparison, error) {
-	if !opts.Fault.Active() {
-		return CompareWithPool(specs, seed, opts.Obs, opts.Pool)
-	}
+	return CompareCtx(context.Background(), specs, seed, opts)
+}
+
+// compareFaultCtx is the hardened comparison body shared by CompareOpts and
+// CompareCtx when a fault profile is active.
+func compareFaultCtx(ctx context.Context, specs []*server.Spec, seed float64, opts EvalOptions) (*Comparison, error) {
 	o, p := opts.Obs, opts.Pool
 	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
 	defer cmpSpan.End()
@@ -263,14 +273,14 @@ func CompareOpts(specs []*server.Spec, seed float64, opts EvalOptions) (*Compari
 		ssj float64
 	}
 	legs := make([]leg, len(specs))
-	err := p.Run("compare", len(specs), func(i int) error {
+	err := p.RunCtx(ctx, "compare", len(specs), func(i int) error {
 		spec := specs[i]
 		o.Infof("comparing methods on %s", spec.Name)
-		ev, err := EvaluateOpts(spec, seed+float64(i), opts)
+		ev, err := EvaluateCtx(ctx, spec, seed+float64(i), opts)
 		if err != nil {
 			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := Green500Opts(spec, seed+float64(i)+0.5, opts)
+		g, err := Green500Ctx(ctx, spec, seed+float64(i)+0.5, opts)
 		if err != nil {
 			return err
 		}

@@ -73,12 +73,19 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range r.histograms {
 		m := SnapshotMetric{
 			Name: h.name, Type: "histogram", Labels: labelMap(h.labels),
-			Sum: h.Sum(), Count: h.Count(),
+			Sum: h.Sum(),
 		}
 		var cum int64
 		for i, ub := range h.bounds {
 			cum += h.counts[i].Load()
 			m.Buckets = append(m.Buckets, SnapshotBucket{UpperBound: ub, Count: cum})
+		}
+		// Load the total after the buckets and clamp it to their sum: a
+		// live registry is observed while it is scraped, and the +Inf
+		// bucket (rendered from Count) must never fall below a finite one.
+		m.Count = h.Count()
+		if m.Count < cum {
+			m.Count = cum
 		}
 		entries = append(entries, entry{sortKey(h.name, h.labels), m})
 	}

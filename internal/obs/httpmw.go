@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// This file is the HTTP face of the telemetry layer: a Prometheus scrape
+// endpoint that renders the live registry on every request (the exporters
+// in export.go were built for one dump at process exit; a long-running
+// daemon is scraped repeatedly and must see monotone counters across
+// scrapes), and a middleware that instruments request count, latency and
+// in-flight gauge for any handler.
+
+// PrometheusContentType is the exposition content type of text format 0.0.4.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PrometheusHandler serves r in the Prometheus text exposition format,
+// taking a fresh snapshot on every scrape. The registry stays live — a
+// scrape never resets or detaches it — so successive scrapes of a counter
+// are monotone non-decreasing. A nil registry serves an empty exposition.
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		// WritePrometheus renders from a point-in-time snapshot, so a
+		// concurrent metric update cannot tear the text format mid-write.
+		_ = WritePrometheus(w, r)
+	})
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// DefaultHTTPBuckets bound request latencies from 100µs to 10s (seconds).
+var DefaultHTTPBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10}
+
+// HTTPMetrics instruments next with the service-level metrics of the route:
+//
+//	http_requests_total{route,code}   counter
+//	http_request_seconds{route}       histogram (DefaultHTTPBuckets)
+//	http_inflight_requests            gauge
+//
+// route must be a fixed route pattern ("/v1/evaluate"), never a raw request
+// path, so the label cardinality stays bounded. A nil Obs passes requests
+// through uninstrumented.
+func HTTPMetrics(o *Obs, route string, next http.Handler) http.Handler {
+	if o == nil || o.Metrics == nil {
+		return next
+	}
+	inflight := o.Gauge("http_inflight_requests")
+	latency := o.Histogram("http_request_seconds", DefaultHTTPBuckets, L("route", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, req)
+		latency.Observe(time.Since(start).Seconds())
+		o.Counter("http_requests_total",
+			L("route", route), L("code", strconv.Itoa(rec.status))).Inc()
+	})
+}

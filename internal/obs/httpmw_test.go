@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape GETs the handler and returns the body.
+func scrape(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != PrometheusContentType {
+		t.Fatalf("content type %q", got)
+	}
+	return rec.Body.String()
+}
+
+// metricValue extracts the value of one sample line from an exposition.
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` (\S+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("sample %q not found in exposition:\n%s", sample, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("sample %q has unparsable value %q", sample, m[1])
+	}
+	return v
+}
+
+// The handler must serve the live registry: two scrapes with increments in
+// between see strictly monotone counters, not a stale or reset dump.
+func TestPrometheusHandlerLiveRegistryMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := PrometheusHandler(r)
+
+	r.Counter("scrapes_test_total").Add(3)
+	first := metricValue(t, scrape(t, h), "scrapes_test_total")
+	if first != 3 {
+		t.Fatalf("first scrape = %v, want 3", first)
+	}
+
+	r.Counter("scrapes_test_total").Add(4)
+	second := metricValue(t, scrape(t, h), "scrapes_test_total")
+	if second != 7 {
+		t.Fatalf("second scrape = %v, want 7 (registry must stay live between scrapes)", second)
+	}
+	if second < first {
+		t.Fatalf("counter went backwards across scrapes: %v -> %v", first, second)
+	}
+}
+
+// A nil registry serves an empty exposition rather than panicking.
+func TestPrometheusHandlerNilRegistry(t *testing.T) {
+	if body := scrape(t, PrometheusHandler(nil)); body != "" {
+		t.Fatalf("nil registry exposition = %q, want empty", body)
+	}
+}
+
+// Histogram bucket counts must be monotone within one scrape even while
+// observations land concurrently.
+func TestPrometheusHandlerHistogramMonotoneUnderLoad(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mw_test_seconds", []float64{0.001, 0.01, 0.1})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(float64(i%3) * 0.005)
+			}
+		}
+	}()
+	handler := PrometheusHandler(r)
+	for i := 0; i < 50; i++ {
+		body := scrape(t, handler)
+		var prev float64 = -1
+		for _, le := range []string{"0.001", "0.01", "0.1", "+Inf"} {
+			v := metricValue(t, body, fmt.Sprintf(`mw_test_seconds_bucket{le=%q}`, le))
+			if v < prev {
+				t.Fatalf("bucket le=%s count %v below previous %v", le, v, prev)
+			}
+			prev = v
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func TestHTTPMetricsMiddleware(t *testing.T) {
+	o := New()
+	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if o.Gauge("http_inflight_requests").Value() != 1 {
+			t.Error("in-flight gauge not raised during handler")
+		}
+		if req.URL.Query().Get("fail") != "" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	handler = HTTPMetrics(o, "/test", handler)
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/test", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/test?fail=1", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+
+	if got := o.Counter("http_requests_total", L("route", "/test"), L("code", "200")).Value(); got != 3 {
+		t.Errorf("code=200 count = %d, want 3", got)
+	}
+	if got := o.Counter("http_requests_total", L("route", "/test"), L("code", "500")).Value(); got != 1 {
+		t.Errorf("code=500 count = %d, want 1", got)
+	}
+	if got := o.Gauge("http_inflight_requests").Value(); got != 0 {
+		t.Errorf("in-flight gauge = %v after requests, want 0", got)
+	}
+	if got := o.Metrics.Histogram("http_request_seconds", nil, L("route", "/test")).Count(); got != 4 {
+		t.Errorf("latency histogram count = %d, want 4", got)
+	}
+	// The middleware's metrics must render through the scrape handler.
+	body := scrape(t, PrometheusHandler(o.Metrics))
+	if !strings.Contains(body, `http_requests_total{code="200",route="/test"} 3`) {
+		t.Errorf("exposition missing middleware counter:\n%s", body)
+	}
+}
+
+// A nil Obs must pass requests through untouched.
+func TestHTTPMetricsNilObs(t *testing.T) {
+	h := HTTPMetrics(nil, "/x", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d, want 418", rec.Code)
+	}
+}

@@ -44,6 +44,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -97,7 +98,19 @@ func (p *Pool) Workers() int {
 // the same pool (Compare does, one nested fan-out per server) without
 // deadlock, because every call brings its own workers.
 func (p *Pool) Run(label string, n int, job func(i int) error) error {
-	reports := p.RunRetryAll(label, n, Retry{}, func(i, _ int) error { return job(i) })
+	return p.RunCtx(context.Background(), label, n, job)
+}
+
+// RunCtx is Run under a context: once ctx is cancelled no further job is
+// dispatched — every undispatched index reports a ErrCancelled-wrapped
+// ctx error — while jobs already started run to completion (the simulation
+// kernels have no preemption points, and a half-written indexed slot would
+// break the reassembly contract). The returned error is still the lowest
+// failing index's, so a cancelled fan-out deterministically surfaces the
+// first casualty even though *which* jobs were already running when the
+// cancellation landed is scheduling-dependent.
+func (p *Pool) RunCtx(ctx context.Context, label string, n int, job func(i int) error) error {
+	reports := p.RunRetryAllCtx(ctx, label, n, Retry{}, func(i, _ int) error { return job(i) })
 	for _, rep := range reports {
 		if rep.Err != nil {
 			return rep.Err
@@ -145,8 +158,26 @@ type JobReport struct {
 // counted on the sched_job_retries_total and sched_job_giveups_total
 // counters.
 func (p *Pool) RunRetryAll(label string, n int, r Retry, job func(i, attempt int) error) []JobReport {
+	return p.RunRetryAllCtx(context.Background(), label, n, r, job)
+}
+
+// ErrCancelled marks the reports of jobs a cancelled RunRetryAllCtx never
+// dispatched. It wraps the context's error, so errors.Is(err, ErrCancelled)
+// and errors.Is(err, context.Canceled/DeadlineExceeded) both hold.
+var ErrCancelled = fmt.Errorf("sched: job not dispatched")
+
+// RunRetryAllCtx is RunRetryAll under a context. Cancellation stops the
+// dispatch of jobs (and of retry attempts) that have not started; their
+// reports carry an ErrCancelled-wrapped context error and count on the
+// sched_jobs_cancelled_total counter. Jobs whose first attempt is already
+// executing run to completion — callers that need bounded latency should
+// size their jobs accordingly rather than expect preemption.
+func (p *Pool) RunRetryAllCtx(ctx context.Context, label string, n int, r Retry, job func(i, attempt int) error) []JobReport {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := p.Workers()
 	if workers > n {
@@ -179,6 +210,11 @@ func (p *Pool) RunRetryAll(label string, n int, r Retry, job func(i, attempt int
 				}
 				jobs++
 				queue.Add(-1)
+				if cerr := ctx.Err(); cerr != nil {
+					reports[i].Err = fmt.Errorf("%w: %w", ErrCancelled, cerr)
+					o.Counter("sched_jobs_cancelled_total").Inc()
+					continue
+				}
 				o.Counter("sched_jobs_total").Inc()
 				if i%workers != w {
 					o.Counter("sched_jobs_stolen_total").Inc()
@@ -187,6 +223,11 @@ func (p *Pool) RunRetryAll(label string, n int, r Retry, job func(i, attempt int
 				var err error
 				for a := 1; a <= attempts; a++ {
 					if a > 1 {
+						if cerr := ctx.Err(); cerr != nil {
+							// Keep the last attempt's error; the retry budget
+							// is forfeit, not the job's outcome.
+							break
+						}
 						o.Counter("sched_job_retries_total").Inc()
 						if r.Backoff > 0 {
 							shift := a - 2

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed response cache: canonical request
+// hash → the exact marshaled response body served for it. Storing bytes,
+// not structs, is what makes a cache hit byte-identical to the miss that
+// populated it — the service's analogue of the pipeline's determinism
+// contract. Eviction is LRU with a fixed entry bound; the evaluation
+// results are small (a few KiB) and uniform, so an entry bound behaves
+// like a byte bound without the bookkeeping.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache bounded to capacity entries (minimum 1).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached body for key and marks it most recently used.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// the bound is exceeded. It returns how many entries were evicted (0 or 1).
+func (c *resultCache) Put(key string, body []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Same canonical key => same deterministic body; just refresh.
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	if c.order.Len() <= c.cap {
+		return 0
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*cacheEntry).key)
+	return 1
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

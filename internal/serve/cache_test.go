@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch "a" so "b" is the eviction candidate.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if evicted := c.Put("c", []byte("C")); evicted != 1 {
+		t.Fatalf("evicted %d entries, want 1", evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if got, ok := c.Get("a"); !ok || string(got) != "A" {
+		t.Error("a should have survived eviction")
+	}
+	if got, ok := c.Get("c"); !ok || string(got) != "C" {
+		t.Error("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheDuplicatePut(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("k", []byte("v"))
+	if evicted := c.Put("k", []byte("v")); evicted != 0 {
+		t.Errorf("duplicate put evicted %d", evicted)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestResultCacheMinimumCapacity(t *testing.T) {
+	c := newResultCache(0) // clamps to 1
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestResultCacheConcurrency(t *testing.T) {
+	c := newResultCache(16)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Put(key, []byte(key))
+				if b, ok := c.Get(key); ok && string(b) != key {
+					t.Errorf("key %s returned body %s", key, b)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if n := c.Len(); n > 16 {
+		t.Errorf("cache grew to %d entries, bound is 16", n)
+	}
+}

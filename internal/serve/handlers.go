@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"powerbench/internal/core"
+	"powerbench/internal/fault"
+	"powerbench/internal/server"
+)
+
+// EvaluateRequest is the body of POST /v1/evaluate and /v1/green500.
+// Exactly one of Server (a built-in Table I name) or Spec (a full custom
+// server.Spec) selects the system under test.
+type EvaluateRequest struct {
+	Server string       `json:"server,omitempty"`
+	Spec   *server.Spec `json:"spec,omitempty"`
+	Seed   float64      `json:"seed"`
+	// FaultProfile optionally runs the hardened pipeline ("light"/"heavy";
+	// ""/"none" is the clean path).
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// TimeoutMS tightens the request deadline below the service ceiling.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CompareRequest is the body of POST /v1/compare. Servers/Specs select the
+// systems (at most one of the two; both empty compares all built-ins).
+type CompareRequest struct {
+	Servers      []string       `json:"servers,omitempty"`
+	Specs        []*server.Spec `json:"specs,omitempty"`
+	Seed         float64        `json:"seed"`
+	FaultProfile string         `json:"fault_profile,omitempty"`
+	TimeoutMS    int            `json:"timeout_ms,omitempty"`
+}
+
+// httpError carries a status code through the decode/resolve helpers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decode parses a JSON request body strictly: bounded size, unknown fields
+// rejected, trailing garbage rejected.
+func (s *Server) decode(w http.ResponseWriter, req *http.Request, v any) error {
+	body := http.MaxBytesReader(w, req.Body, s.cfg.maxBodyBytes())
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("malformed request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("malformed request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// resolveSpec turns an EvaluateRequest's server selection into a validated
+// Spec.
+func resolveSpec(name string, spec *server.Spec) (*server.Spec, error) {
+	switch {
+	case name != "" && spec != nil:
+		return nil, badRequest("request sets both server and spec; choose one")
+	case spec != nil:
+		if err := spec.Validate(); err != nil {
+			return nil, badRequest("invalid spec: %v", err)
+		}
+		return spec, nil
+	case name != "":
+		sp, err := server.ByName(name)
+		if err != nil {
+			return nil, &httpError{status: http.StatusNotFound, msg: err.Error()}
+		}
+		return sp, nil
+	default:
+		return nil, badRequest("request must set server (built-in name) or spec (custom)")
+	}
+}
+
+// resolveProfile validates the request's fault profile name.
+func resolveProfile(name string) (*fault.Profile, error) {
+	p, err := fault.Parse(name)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return p, nil
+}
+
+// fail writes an error response, mapping httpError statuses through.
+func fail(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeError(w, he.status, he.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+func (s *Server) opts(profile *fault.Profile) core.EvalOptions {
+	return core.EvalOptions{Obs: s.obs, Pool: s.pool, Fault: profile}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, req *http.Request) {
+	var er EvaluateRequest
+	if err := s.decode(w, req, &er); err != nil {
+		fail(w, err)
+		return
+	}
+	spec, err := resolveSpec(er.Server, er.Spec)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	profile, err := resolveProfile(er.FaultProfile)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	key := "evaluate|" + core.CanonicalHash(spec, er.Seed,
+		core.HashOpts{Method: "evaluate", FaultProfile: er.FaultProfile})
+	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.evalFn(ctx, spec, er.Seed, s.opts(profile))
+	})
+}
+
+func (s *Server) handleGreen500(w http.ResponseWriter, req *http.Request) {
+	var er EvaluateRequest
+	if err := s.decode(w, req, &er); err != nil {
+		fail(w, err)
+		return
+	}
+	spec, err := resolveSpec(er.Server, er.Spec)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	profile, err := resolveProfile(er.FaultProfile)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	key := "green500|" + core.CanonicalHash(spec, er.Seed,
+		core.HashOpts{Method: "green500", FaultProfile: er.FaultProfile})
+	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.g500Fn(ctx, spec, er.Seed, s.opts(profile))
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, req *http.Request) {
+	var cr CompareRequest
+	if err := s.decode(w, req, &cr); err != nil {
+		fail(w, err)
+		return
+	}
+	specs, err := resolveSpecs(cr.Servers, cr.Specs)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	profile, err := resolveProfile(cr.FaultProfile)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	// The comparison key chains every spec's canonical hash in input
+	// order — the per-server seeds (seed+i) and the output columns both
+	// depend on that order.
+	hashes := make([]string, len(specs))
+	for i, sp := range specs {
+		hashes[i] = core.CanonicalHash(sp, cr.Seed,
+			core.HashOpts{Method: "compare", FaultProfile: cr.FaultProfile})
+	}
+	key := "compare|" + strings.Join(hashes, "+")
+	s.serveComputed(w, req, key, cr.TimeoutMS, func(ctx context.Context) (any, error) {
+		return s.cmpFn(ctx, specs, cr.Seed, s.opts(profile))
+	})
+}
+
+// resolveSpecs turns a CompareRequest's selection into validated Specs;
+// empty selection compares every built-in server.
+func resolveSpecs(names []string, specs []*server.Spec) ([]*server.Spec, error) {
+	if len(names) > 0 && len(specs) > 0 {
+		return nil, badRequest("request sets both servers and specs; choose one")
+	}
+	if len(specs) > 0 {
+		for _, sp := range specs {
+			if sp == nil {
+				return nil, badRequest("specs contains a null entry")
+			}
+			if err := sp.Validate(); err != nil {
+				return nil, badRequest("invalid spec: %v", err)
+			}
+		}
+		return specs, nil
+	}
+	if len(names) == 0 {
+		return server.All(), nil
+	}
+	out := make([]*server.Spec, len(names))
+	for i, name := range names {
+		sp, err := server.ByName(name)
+		if err != nil {
+			return nil, &httpError{status: http.StatusNotFound, msg: err.Error()}
+		}
+		out[i] = sp
+	}
+	return out, nil
+}
+
+func (s *Server) handleServers(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalBody(server.All())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "", body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeBody(w, http.StatusOK, "", []byte("{\"status\":\"ok\"}\n"))
+}

@@ -1,0 +1,346 @@
+// Package serve is the network face of powerbench: an HTTP/JSON service
+// ("powerbenchd") exposing the paper's evaluation pipeline as a queryable
+// API, the way production power-telemetry systems serve predictions from a
+// central service rather than one-shot batch runs (Sîrbu & Babaoglu's
+// queried prediction models, the Cray PMDB central database; PAPERS.md).
+//
+// The layer is deliberately production-shaped rather than a thin mux:
+//
+//   - Content-addressed result cache. Responses are cached under
+//     core.CanonicalHash keys — a pure function of (spec, seed, options) —
+//     with LRU eviction, and a hit returns the exact bytes the miss
+//     produced. The pipeline's byte-identical determinism is what makes
+//     the cache sound: equal keys provably mean equal responses.
+//
+//   - Request dedup (singleflight). Concurrent identical requests share
+//     one underlying computation; only the first runs the pipeline, the
+//     rest wait on its flight and serve the same bytes.
+//
+//   - Admission control. At most MaxInFlight computations run at once;
+//     beyond that the service answers 429 with Retry-After instead of
+//     queueing unboundedly. Cache hits and dedup joins bypass admission —
+//     they cost microseconds and no simulation work.
+//
+//   - Deadlines and cancellation. Every request carries a context with a
+//     deadline (service default, tightened per-request by timeout_ms); a
+//     deadline that expires answers 504 and, when the last waiter gives
+//     up, cancels the flight so the scheduler stops dispatching its
+//     pending simulation runs (sched.RunRetryAllCtx).
+//
+//   - Graceful shutdown. Close/Shutdown drain in-flight flights before
+//     returning, so a SIGTERM never truncates a computation mid-write.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"powerbench/internal/core"
+	"powerbench/internal/obs"
+	"powerbench/internal/sched"
+	"powerbench/internal/server"
+)
+
+// Config sizes the service. The zero value selects sane defaults.
+type Config struct {
+	// Obs receives the service and pipeline telemetry (served on /metrics).
+	// Nil disables telemetry.
+	Obs *obs.Obs
+	// Jobs is the per-request scheduler width (0 = one per CPU).
+	Jobs int
+	// MaxInFlight bounds concurrently computing requests; beyond it the
+	// service answers 429. 0 selects GOMAXPROCS.
+	MaxInFlight int
+	// CacheEntries bounds the result cache (0 selects 512 entries).
+	CacheEntries int
+	// MaxTimeout is the ceiling on any request deadline; requests may only
+	// tighten it via timeout_ms. 0 selects 60s.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 selects 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) cacheEntries() int {
+	if c.CacheEntries > 0 {
+		return c.CacheEntries
+	}
+	return 512
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout > 0 {
+		return c.MaxTimeout
+	}
+	return 60 * time.Second
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+// Server is the powerbenchd service state.
+type Server struct {
+	cfg     Config
+	obs     *obs.Obs
+	pool    *sched.Pool
+	cache   *resultCache
+	flights *flightGroup
+	// admit is the admission semaphore: send acquires a compute slot,
+	// receive releases it.
+	admit chan struct{}
+	mux   *http.ServeMux
+
+	// baseCtx parents every flight's compute context, so a hard Close can
+	// cancel outstanding work.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	// wg tracks flight goroutines for shutdown draining.
+	wg sync.WaitGroup
+
+	// Pipeline seams, overridable by tests.
+	evalFn func(ctx context.Context, spec *server.Spec, seed float64, opts core.EvalOptions) (*core.Evaluation, error)
+	g500Fn func(ctx context.Context, spec *server.Spec, seed float64, opts core.EvalOptions) (*core.Green500Result, error)
+	cmpFn  func(ctx context.Context, specs []*server.Spec, seed float64, opts core.EvalOptions) (*core.Comparison, error)
+}
+
+// New builds the service.
+func New(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		obs:        cfg.Obs,
+		pool:       sched.New(cfg.Jobs, cfg.Obs),
+		cache:      newResultCache(cfg.cacheEntries()),
+		flights:    newFlightGroup(),
+		admit:      make(chan struct{}, cfg.maxInFlight()),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		evalFn:     core.EvaluateCtx,
+		g500Fn:     core.Green500Ctx,
+		cmpFn:      core.CompareCtx,
+	}
+	s.obs.Gauge("serve_admission_capacity").Set(float64(cfg.maxInFlight()))
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/evaluate", "/v1/evaluate", s.handleEvaluate)
+	s.route("POST /v1/green500", "/v1/green500", s.handleGreen500)
+	s.route("POST /v1/compare", "/v1/compare", s.handleCompare)
+	s.route("GET /v1/servers", "/v1/servers", s.handleServers)
+	s.route("GET /healthz", "/healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", obs.HTTPMetrics(s.obs, "/metrics", s.metricsHandler()))
+	return s
+}
+
+// route registers a handler wrapped in the obs HTTP middleware under a
+// fixed route label.
+func (s *Server) route(pattern, label string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, obs.HTTPMetrics(s.obs, label, h))
+}
+
+// metricsHandler serves the live registry; a nil Obs still answers with an
+// empty exposition so probes don't 404.
+func (s *Server) metricsHandler() http.Handler {
+	var reg *obs.Registry
+	if s.obs != nil {
+		reg = s.obs.Metrics
+	}
+	return obs.PrometheusHandler(reg)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains gracefully: it waits for every in-flight computation to
+// settle, or — if ctx expires first — cancels them (pending simulation
+// runs stop dispatching; started ones finish) and then waits. The caller
+// must already have stopped accepting new connections (http.Server's
+// Shutdown does).
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels outstanding computations and waits for them to unwind.
+func (s *Server) Close() {
+	s.cancelBase()
+	s.wg.Wait()
+}
+
+// --- request orchestration: cache → dedup → admission → compute ---
+
+// cacheHeader is the response header reporting how the body was produced:
+// "hit" (result cache), "miss" (this request computed it), or "dedup"
+// (shared another request's in-flight computation).
+const cacheHeader = "X-Powerbench-Cache"
+
+// retryAfterSec is the client backoff hint on 429 responses.
+const retryAfterSec = "1"
+
+// serveComputed answers one compute request: serve from cache, else join
+// or begin the key's flight under admission control, then wait for the
+// flight or the request deadline, whichever first.
+func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key string, timeoutMS int, fn func(ctx context.Context) (any, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		s.obs.Counter("serve_cache_hits_total").Inc()
+		writeBody(w, http.StatusOK, "hit", body)
+		return
+	}
+	s.obs.Counter("serve_cache_misses_total").Inc()
+
+	// Request deadline: the service ceiling, tightened by timeout_ms.
+	timeout := s.cfg.maxTimeout()
+	if t := time.Duration(timeoutMS) * time.Millisecond; timeoutMS > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), timeout)
+	defer cancel()
+
+	f, how := s.joinOrBegin(key, fn)
+	if f == nil {
+		// Saturated: reject now rather than queue unboundedly.
+		s.obs.Counter("serve_admission_rejected_total").Inc()
+		w.Header().Set("Retry-After", retryAfterSec)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("service saturated: %d computations in flight", cap(s.admit)))
+		return
+	}
+
+	select {
+	case <-f.done:
+		writeBody(w, f.status, how, f.body)
+	case <-ctx.Done():
+		if s.flights.leave(f) {
+			s.obs.Counter("serve_flight_abandoned_total").Inc()
+		}
+		if ctx.Err() == context.DeadlineExceeded {
+			s.obs.Counter("serve_deadline_expired_total").Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("deadline exceeded after %s", timeout))
+			return
+		}
+		// Client went away; nothing to write.
+		s.obs.Counter("serve_client_gone_total").Inc()
+	}
+}
+
+// joinOrBegin attaches the request to key's flight, starting one (under
+// admission control) if none is live. It returns a nil flight when
+// admission is saturated; how reports "dedup" for a join and "miss" for a
+// fresh flight.
+func (s *Server) joinOrBegin(key string, fn func(ctx context.Context) (any, error)) (f *flight, how string) {
+	if f := s.flights.join(key); f != nil {
+		s.obs.Counter("serve_dedup_joined_total").Inc()
+		return f, "dedup"
+	}
+	// No live flight: this request must compute, which needs a slot.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return nil, ""
+	}
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	f, created := s.flights.begin(key, fcancel)
+	if !created {
+		// Raced with another beginner; ride along and return the slot.
+		fcancel()
+		<-s.admit
+		s.obs.Counter("serve_dedup_joined_total").Inc()
+		return f, "dedup"
+	}
+	s.wg.Add(1)
+	go s.runFlight(fctx, f, fn)
+	return f, "miss"
+}
+
+// runFlight executes the computation, publishes the marshaled response,
+// fills the cache on success, and releases the admission slot.
+func (s *Server) runFlight(ctx context.Context, f *flight, fn func(ctx context.Context) (any, error)) {
+	defer s.wg.Done()
+	defer func() { <-s.admit }()
+	inflight := s.obs.Gauge("serve_compute_inflight")
+	inflight.Add(1)
+	defer inflight.Add(-1)
+	s.obs.Counter("serve_compute_total").Inc()
+
+	start := time.Now()
+	v, err := fn(ctx)
+	s.obs.Histogram("serve_compute_seconds", nil).Observe(time.Since(start).Seconds())
+
+	status := http.StatusOK
+	var body []byte
+	switch {
+	case err != nil:
+		s.obs.Counter("serve_compute_errors_total").Inc()
+		status = http.StatusInternalServerError
+		body = errorBody(fmt.Sprintf("evaluation failed: %v", err))
+	default:
+		body, err = marshalBody(v)
+		if err != nil {
+			status = http.StatusInternalServerError
+			body = errorBody(fmt.Sprintf("encoding response: %v", err))
+		}
+	}
+	if status == http.StatusOK {
+		evicted := s.cache.Put(f.key, body)
+		s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
+		s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
+	}
+	s.flights.settle(f, status, body)
+}
+
+// --- response helpers ---
+
+// marshalBody renders a response payload as indented JSON with a trailing
+// newline (curl-friendly, and the exact bytes the cache stores).
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func errorBody(msg string) []byte {
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	return append(b, '\n')
+}
+
+func writeBody(w http.ResponseWriter, status int, how string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if how != "" {
+		w.Header().Set(cacheHeader, how)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeBody(w, status, "", errorBody(msg))
+}

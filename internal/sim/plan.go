@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -44,7 +45,15 @@ func Timeline(models []workload.Model, gapSec float64) []float64 {
 // therefore byte-identical for any worker count, including a nil
 // (sequential) pool.
 func (e *Engine) RunPlan(models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, error) {
-	results, merged, reports := e.RunPlanPartial(models, gapSec, pool)
+	return e.RunPlanCtx(context.Background(), models, gapSec, pool)
+}
+
+// RunPlanCtx is RunPlan under a context: a cancelled ctx stops the
+// scheduler from dispatching the plan's pending runs (started runs finish;
+// see sched.RunRetryAllCtx) and surfaces the cancellation as the error of
+// the lowest undispatched index.
+func (e *Engine) RunPlanCtx(ctx context.Context, models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, error) {
+	results, merged, reports := e.RunPlanPartialCtx(ctx, models, gapSec, pool)
 	for i, rep := range reports {
 		if rep.Err != nil {
 			return nil, nil, fmt.Errorf("sim: running %s: %w", models[i].Name, rep.Err)
@@ -62,6 +71,13 @@ func (e *Engine) RunPlan(models []workload.Model, gapSec float64, pool *sched.Po
 // identity-seeded forks, canonical-order reassembly, and per-attempt fault
 // decisions that are pure functions of (identity, attempt).
 func (e *Engine) RunPlanPartial(models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, []sched.JobReport) {
+	return e.RunPlanPartialCtx(context.Background(), models, gapSec, pool)
+}
+
+// RunPlanPartialCtx is RunPlanPartial under a context; cancellation stops
+// pending dispatch exactly as in RunPlanCtx, and undispatched runs appear
+// in the reports as sched.ErrCancelled give-ups.
+func (e *Engine) RunPlanPartialCtx(ctx context.Context, models []workload.Model, gapSec float64, pool *sched.Pool) ([]RunResult, []meter.Sample, []sched.JobReport) {
 	starts := Timeline(models, gapSec)
 	sp := e.Obs.Span("plan", "run").Arg("models", len(models)).Arg("jobs", pool.Workers())
 	defer sp.End()
@@ -78,7 +94,7 @@ func (e *Engine) RunPlanPartial(models []workload.Model, gapSec float64, pool *s
 	}
 
 	results := make([]RunResult, len(models))
-	reports := pool.RunRetryAll("sim", len(models), e.Retry, func(i, attempt int) error {
+	reports := pool.RunRetryAllCtx(ctx, "sim", len(models), e.Retry, func(i, attempt int) error {
 		eng := e.Fork("run", strconv.Itoa(i), models[i].Name)
 		if eng.Fault.RunFails(attempt) {
 			return fault.ErrTransient
