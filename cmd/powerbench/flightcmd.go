@@ -1,0 +1,136 @@
+package main
+
+// powerbench flight — inspect flight-recorder files (DESIGN.md §10).
+//
+//	powerbench flight show <file>            per-record summary with energy attribution
+//	powerbench flight diff <a> <b>           per-phase energy deltas between two runs
+//	powerbench flight verify [-tol f] <file> energy-conservation check (CI gate)
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"powerbench/internal/flight"
+)
+
+const flightUsage = `usage: powerbench flight <command> [args]
+
+  show <file>             print each record with its per-phase energy attribution
+  diff <a> <b>            compare two flight files phase by phase (energy deltas)
+  verify [-tol f] <file>  check every record's energy components sum to the
+                          trace integral within tol (default 0.001 = 0.1%)`
+
+func flightCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, flightUsage)
+		return 2
+	}
+	switch args[0] {
+	case "show":
+		if len(args) != 2 {
+			fmt.Fprintln(stderr, "usage: powerbench flight show <file>")
+			return 2
+		}
+		return flightShow(args[1], stdout, stderr)
+	case "diff":
+		if len(args) != 3 {
+			fmt.Fprintln(stderr, "usage: powerbench flight diff <a> <b>")
+			return 2
+		}
+		return flightDiff(args[1], args[2], stdout, stderr)
+	case "verify":
+		fs := flag.NewFlagSet("powerbench flight verify", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		tol := fs.Float64("tol", 0.001, "relative conservation tolerance")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: powerbench flight verify [-tol f] <file>")
+			return 2
+		}
+		return flightVerify(fs.Arg(0), *tol, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "powerbench flight: unknown command %q\n%s\n", args[0], flightUsage)
+		return 2
+	}
+}
+
+func flightShow(path string, stdout, stderr io.Writer) int {
+	recs, err := flight.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, r := range recs {
+		faults := int64(0)
+		for _, n := range r.Faults {
+			faults += n
+		}
+		fmt.Fprintf(stdout, "%s %s: seed %g score %.4f profile %s (%d runs, %d retried, %d failed, %d faults)\n",
+			r.Method, r.Server, r.Seed, r.Score, r.FaultProfile,
+			r.Sched.Completed, r.Sched.Retried, r.Sched.Failed, faults)
+		fmt.Fprintf(stdout, "  energy: total %.1f J = idle %.1f + cpu %.1f + memory %.1f + other %.1f\n",
+			r.Energy.TotalJ, r.Energy.IdleJ, r.Energy.CPUJ, r.Energy.MemoryJ, r.Energy.OtherJ)
+		if len(r.Phases) == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-14s %9s %9s %9s %11s %11s %11s %11s\n",
+			"phase", "avg W", "GFLOPS", "PPW", "total J", "idle J", "cpu J", "memory J")
+		for _, p := range r.Phases {
+			fmt.Fprintf(stdout, "  %-14s %9.2f %9.2f %9.4f %11.1f %11.1f %11.1f %11.1f\n",
+				p.Name, p.AvgWatts, p.GFLOPS, p.PPW,
+				p.Energy.TotalJ, p.Energy.IdleJ, p.Energy.CPUJ, p.Energy.MemoryJ)
+		}
+	}
+	fmt.Fprintf(stdout, "%d records\n", len(recs))
+	return 0
+}
+
+func flightDiff(pathA, pathB string, stdout, stderr io.Writer) int {
+	a, err := flight.Open(pathA)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	b, err := flight.Open(pathB)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprint(stdout, flight.Render(flight.Diff(a, b)))
+	return 0
+}
+
+// flightVerify is the CI energy-conservation gate: every record's (and every
+// phase's) attributed components must sum back to the trace integral.
+func flightVerify(path string, tol float64, stdout, stderr io.Writer) int {
+	recs, err := flight.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	violations := 0
+	for _, r := range recs {
+		if !r.Energy.Conserves(tol) {
+			fmt.Fprintf(stderr, "%s %s: run energy does not conserve: total %.3f J, components sum %.3f J\n",
+				r.Method, r.Server, r.Energy.TotalJ, r.Energy.ComponentSum())
+			violations++
+		}
+		for _, p := range r.Phases {
+			if !p.Energy.Conserves(tol) {
+				fmt.Fprintf(stderr, "%s %s phase %s: energy does not conserve: total %.3f J, components sum %.3f J\n",
+					r.Method, r.Server, p.Name, p.Energy.TotalJ, p.Energy.ComponentSum())
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(stderr, "%d conservation violations in %d records (tolerance %g)\n",
+			violations, len(recs), tol)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d records verified: energy components conserve within %g\n", len(recs), tol)
+	return 0
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerbench/internal/flight"
+)
+
+// recordFlight runs one evaluation with -flight-out and returns the file's
+// bytes.
+func recordFlight(t *testing.T, path string, extra ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-server", "Xeon-E5462", "-q", "-flight-out", path}, extra...)
+	if rc := run(args, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRunFlightOutDeterministic is the CLI acceptance check: the flight
+// file is byte-identical at -jobs 1, 2 and 8.
+func TestRunFlightOutDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var files [][]byte
+	for _, jobs := range []string{"1", "2", "8"} {
+		data := recordFlight(t, filepath.Join(dir, "f"+jobs+".jsonl"), "-jobs", jobs)
+		files = append(files, data)
+	}
+	for i := 1; i < len(files); i++ {
+		if !bytes.Equal(files[0], files[i]) {
+			t.Fatalf("flight file differs between -jobs 1 and -jobs %s", []string{"1", "2", "8"}[i])
+		}
+	}
+	recs, err := flight.Decode(bytes.NewReader(files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records, want 1", len(recs))
+	}
+}
+
+// TestFlightShowAndVerify: the subcommand renders a recorded file and the
+// conservation gate passes on real pipeline output.
+func TestFlightShowAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	recordFlight(t, path)
+
+	var stdout, stderr bytes.Buffer
+	if rc := flightCmd([]string{"show", path}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("show rc=%d: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"evaluate Xeon-E5462", "energy: total", "idle", "1 records"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show output missing %q:\n%s", want, out)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if rc := flightCmd([]string{"verify", path}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("verify rc=%d: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "energy components conserve") {
+		t.Errorf("verify output: %s", stdout.String())
+	}
+}
+
+// TestFlightVerifyCatchesViolation: a tampered record fails the gate.
+func TestFlightVerifyCatchesViolation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	recordFlight(t, path)
+	// Inflate the recorded total energy so the components no longer sum:
+	// decode, perturb, re-encode through the recorder.
+	recs, err := flight.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs[0].Energy.TotalJ *= 2
+	rec := flight.NewRecorder(0)
+	for _, r := range recs {
+		rec.Add(r)
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := rec.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if rc := flightCmd([]string{"verify", bad}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("verify of tampered file rc=%d, want 1", rc)
+	}
+	if !strings.Contains(stderr.String(), "does not conserve") {
+		t.Errorf("verify stderr: %s", stderr.String())
+	}
+}
+
+// TestFlightDiffSeeds: diffing two different-seed runs reports per-phase
+// energy deltas (acceptance criterion).
+func TestFlightDiffSeeds(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	recordFlight(t, a, "-seed", "1")
+	recordFlight(t, b, "-seed", "2")
+
+	var stdout, stderr bytes.Buffer
+	if rc := flightCmd([]string{"diff", a, b}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("diff rc=%d: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "seed 1 -> 2") {
+		t.Errorf("diff header missing seeds:\n%s", out)
+	}
+	if !strings.Contains(out, "Δtotal J") {
+		t.Errorf("diff missing the per-phase table:\n%s", out)
+	}
+}
+
+// TestFlightCmdUsage: bad invocations are usage errors, not crashes.
+func TestFlightCmdUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		nil, {"bogus"}, {"show"}, {"diff", "one"}, {"verify"},
+	} {
+		if rc := flightCmd(args, &stdout, &stderr); rc != 2 {
+			t.Errorf("flightCmd(%v) rc=%d, want 2", args, rc)
+		}
+	}
+	if rc := flightCmd([]string{"show", "/does/not/exist.jsonl"}, &stdout, &stderr); rc != 1 {
+		t.Errorf("show of missing file rc=%d, want 1", rc)
+	}
+}
+
+// TestRunProfileFlags: -cpuprofile/-memprofile write valid (non-empty,
+// gzip-magic) pprof files without perturbing the report.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	var plain, profiled, stderr bytes.Buffer
+	if rc := run([]string{"-server", "Xeon-E5462"}, &plain, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	stderr.Reset()
+	rc := run([]string{"-server", "Xeon-E5462", "-cpuprofile", cpu, "-memprofile", mem}, &profiled, &stderr)
+	if rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	if plain.String() != profiled.String() {
+		t.Error("profiling flags changed the report output")
+	}
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzip-compressed pprof profile", path)
+		}
+	}
+}

@@ -6,7 +6,9 @@
 //
 //	powerbench [-server name] [-compare] [-seed n] [-jobs n]
 //	           [-fault-profile none|light|heavy]
+//	           [-flight-out file] [-cpuprofile file] [-memprofile file]
 //	           [-v] [-q] [-metrics-out file] [-trace-out file]
+//	powerbench flight show|diff|verify ...
 //
 // -jobs sets how many simulation runs execute concurrently (default: one
 // per CPU; 1 = sequential). Output is byte-identical at every job count —
@@ -19,6 +21,14 @@
 // -q silences the report itself. -metrics-out writes a JSON snapshot of
 // every pipeline metric; -trace-out writes a Chrome trace_event file that
 // opens in chrome://tracing or https://ui.perfetto.dev.
+//
+// -flight-out records every run into a flight-recorder file (JSONL, one
+// record per evaluation with phase boundaries and per-phase idle/CPU/memory
+// energy attribution; DESIGN.md §10), byte-identical at every -jobs count.
+// The `powerbench flight` subcommand inspects such files: `show` prints the
+// records, `diff` reports per-phase energy deltas between two runs, and
+// `verify` is the CI energy-conservation gate. -cpuprofile/-memprofile
+// write pprof profiles of the whole invocation for `go tool pprof`.
 package main
 
 import (
@@ -26,9 +36,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"powerbench/internal/core"
 	"powerbench/internal/fault"
+	"powerbench/internal/flight"
 	"powerbench/internal/obs"
 	"powerbench/internal/sched"
 	"powerbench/internal/server"
@@ -42,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Float64("seed", 1, "simulation seed")
 	jobs := fs.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU, 1 = sequential); output is identical at every setting")
 	faultProfile := fs.String("fault-profile", "none", "fault injection profile (none, light, heavy); chaos runs are deterministic per seed")
+	flightOut := fs.String("flight-out", "", "write flight records (JSONL) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	var cli obs.CLI
 	cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -52,11 +68,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+			}
+		}()
+	}
 	o := cli.NewObs(stdout, stderr)
 	log := o.Log
 	pool := sched.New(*jobs, o)
 	ledger := fault.NewLedger()
-	opts := core.EvalOptions{Obs: o, Pool: pool, Fault: profile, Ledger: ledger}
+	var recorder *flight.Recorder
+	if *flightOut != "" {
+		recorder = flight.NewRecorder(0)
+	}
+	opts := core.EvalOptions{Obs: o, Pool: pool, Fault: profile, Ledger: ledger, Flight: recorder}
 
 	var specs []*server.Spec
 	if *serverName == "" {
@@ -110,9 +160,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		log.Reportf("fault injection (%s profile): %s\n", profile.Name, ledger)
 	}
 
+	if recorder != nil {
+		if err := recorder.WriteFile(*flightOut); err != nil {
+			fmt.Fprintln(stderr, "flight-out:", err)
+			return 1
+		}
+		o.Infof("wrote %d flight records to %s", recorder.Len(), *flightOut)
+	}
+
 	return cli.Flush(o, stderr)
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "flight" {
+		os.Exit(flightCmd(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -5,22 +5,32 @@
 //
 //	powerbenchd [-addr host:port] [-jobs n] [-max-inflight n]
 //	            [-cache-entries n] [-max-timeout d]
+//	            [-flight-dir dir] [-pprof]
 //	            [-v] [-q] [-metrics-out file] [-trace-out file]
 //
 // Endpoints:
 //
-//	POST /v1/evaluate   run the §V method on a server spec
-//	POST /v1/green500   PPW-at-peak (§III-B)
-//	POST /v1/compare    all three methods across servers (§V-C3)
-//	GET  /v1/servers    the built-in Table I specs
-//	GET  /metrics       Prometheus exposition of the live registry
-//	GET  /healthz       liveness probe
+//	POST /v1/evaluate      run the §V method on a server spec
+//	POST /v1/green500      PPW-at-peak (§III-B)
+//	POST /v1/compare       all three methods across servers (§V-C3)
+//	GET  /v1/servers       the built-in Table I specs
+//	GET  /v1/flights/{id}  flight records (JSONL) of a computed request
+//	GET  /metrics          Prometheus exposition of the live registry
+//	GET  /healthz          liveness probe
+//	GET  /debug/pprof/     live CPU/heap/goroutine profiles (with -pprof)
 //
 // Identical requests are deduplicated and cached (content-addressed on the
 // canonical spec/seed/options hash), admission control answers 429 +
 // Retry-After beyond -max-inflight concurrent computations, and SIGINT/
 // SIGTERM drain in-flight work before exit. -metrics-out/-trace-out write
 // their exporter files after the drain, capturing the daemon's whole life.
+//
+// Every computed request records a flight (DESIGN.md §10): structured
+// per-run records with phase boundaries and energy attribution, retrievable
+// via the X-Powerbench-Flight response header + GET /v1/flights/{id}, and —
+// with -flight-dir — persisted as <id>.jsonl for `powerbench flight` to
+// inspect offline. /metrics additionally exports Go runtime health series
+// and multi-window SLO burn-rate gauges (availability and latency).
 package main
 
 import (
@@ -49,6 +59,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cacheEntries := fs.Int("cache-entries", 0, "result cache bound in entries (0 = 512)")
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "ceiling on per-request deadlines")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight work")
+	flightDir := fs.String("flight-dir", "", "persist flight records as <id>.jsonl under this directory")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	var cli obs.CLI
 	cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -57,12 +69,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	o := cli.NewObs(stdout, stderr)
 	log := o.Log
 
+	// Runtime health series (goroutines, heap, GC) on the same registry the
+	// service scrapes, refreshed every 10 s and once more at the final flush.
+	stopRuntime := obs.NewRuntimeBridge(o.Metrics).Start(0)
+	defer stopRuntime()
+
 	svc := serve.New(serve.Config{
-		Obs:          o,
-		Jobs:         *jobs,
-		MaxInFlight:  *maxInFlight,
-		CacheEntries: *cacheEntries,
-		MaxTimeout:   *maxTimeout,
+		Obs:             o,
+		Jobs:            *jobs,
+		MaxInFlight:     *maxInFlight,
+		CacheEntries:    *cacheEntries,
+		MaxTimeout:      *maxTimeout,
+		FlightDir:       *flightDir,
+		EnableProfiling: *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -24,7 +24,7 @@ func EvaluateCtx(ctx context.Context, spec *server.Spec, seed float64, opts Eval
 		return nil, err
 	}
 	if !opts.Fault.Active() {
-		return evaluateCleanCtx(ctx, spec, seed, opts.Obs, opts.Pool)
+		return evaluateCleanCtx(ctx, spec, seed, opts)
 	}
 	return evaluateFaultCtx(ctx, spec, seed, opts)
 }
@@ -35,7 +35,7 @@ func Green500Ctx(ctx context.Context, spec *server.Spec, seed float64, opts Eval
 		return nil, err
 	}
 	if !opts.Fault.Active() {
-		return green500CleanCtx(ctx, spec, seed, opts.Obs, opts.Pool)
+		return green500CleanCtx(ctx, spec, seed, opts)
 	}
 	return green500FaultCtx(ctx, spec, seed, opts)
 }
@@ -48,7 +48,7 @@ func CompareCtx(ctx context.Context, specs []*server.Spec, seed float64, opts Ev
 		return nil, err
 	}
 	if !opts.Fault.Active() {
-		return compareCleanCtx(ctx, specs, seed, opts.Obs, opts.Pool)
+		return compareCleanCtx(ctx, specs, seed, opts)
 	}
 	return compareFaultCtx(ctx, specs, seed, opts)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"powerbench/internal/flight"
 	"powerbench/internal/hpl"
 	"powerbench/internal/meter"
 	"powerbench/internal/npb"
@@ -163,13 +164,16 @@ func EvaluateWithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Evaluation, 
 // over the merged log stays sequential; it is a trivial fraction of the
 // work.
 func EvaluateWithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Evaluation, error) {
-	return evaluateCleanCtx(context.Background(), spec, seed, o, p)
+	return evaluateCleanCtx(context.Background(), spec, seed, EvalOptions{Obs: o, Pool: p})
 }
 
 // evaluateCleanCtx is the clean-path evaluation body shared by
 // EvaluateWithPool and EvaluateCtx; ctx cancellation stops the dispatch of
-// pending plan states and fails the evaluation.
-func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Evaluation, error) {
+// pending plan states and fails the evaluation. Only opts.Obs, opts.Pool and
+// opts.Flight participate here — the fault machinery belongs to
+// evaluateFaultCtx.
+func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts EvalOptions) (*Evaluation, error) {
+	o, p := opts.Obs, opts.Pool
 	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
 	o.Infof("evaluating %s (seed %g, %d jobs)", spec.Name, seed, p.Workers())
@@ -187,6 +191,8 @@ func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *o
 
 	ev := &Evaluation{Server: spec.Name}
 	var sumG, sumW, sumPPW float64
+	var phases []flight.Phase
+	var runEnergy flight.Energy
 	analysis := sp.Child("analysis")
 	for _, r := range results {
 		state := analysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
@@ -207,6 +213,12 @@ func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *o
 		sumG += row.GFLOPS
 		sumW += row.Watts
 		sumPPW += row.PPW
+		if opts.Flight != nil {
+			ph := flightPhase(spec, r, window, watts, dropped)
+			emitEnergyMetrics(o, state.Ref(), spec.Name, ph.Energy)
+			runEnergy.Add(ph.Energy)
+			phases = append(phases, ph)
+		}
 		state.Arg("watts", watts).Arg("samples", len(window)).Arg("trim_dropped", dropped).End()
 		o.Debugf("state %s: %.1f W over %d samples (%d trimmed)",
 			r.Model.Name, watts, len(window), dropped)
@@ -216,6 +228,17 @@ func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *o
 	ev.AvgGFLOPS = sumG / n
 	ev.AvgWatts = sumW / n
 	ev.Score = sumPPW / n
+	if opts.Flight != nil {
+		opts.Flight.Add(flight.Record{
+			Method: "evaluate", Server: spec.Name, Seed: seed,
+			Key:          CanonicalHash(spec, seed, HashOpts{Method: "evaluate"}),
+			FaultProfile: "none",
+			Score:        ev.Score,
+			Phases:       phases,
+			Energy:       runEnergy,
+			Sched:        flight.SchedStats{States: len(models), Completed: len(ev.Rows)},
+		})
+	}
 	o.Gauge("core_score", obs.L("server", spec.Name)).Set(ev.Score)
 	o.Infof("evaluated %s: score %.4f over %d states", spec.Name, ev.Score, len(ev.Rows))
 	return ev, nil
@@ -258,12 +281,13 @@ func Green500WithObs(spec *server.Spec, seed float64, o *obs.Obs) (*Green500Resu
 // show up in the pool's telemetry. One run has nothing to parallelize; the
 // pool only provides dispatch and accounting.
 func Green500WithPool(spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Green500Result, error) {
-	return green500CleanCtx(context.Background(), spec, seed, o, p)
+	return green500CleanCtx(context.Background(), spec, seed, EvalOptions{Obs: o, Pool: p})
 }
 
 // green500CleanCtx is the clean-path Green500 body shared by
 // Green500WithPool and Green500Ctx.
-func green500CleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Green500Result, error) {
+func green500CleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts EvalOptions) (*Green500Result, error) {
+	o, p := opts.Obs, opts.Pool
 	sp := o.Span("green500 "+spec.Name, "evaluate")
 	defer sp.End()
 	m, err := hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
@@ -282,12 +306,27 @@ func green500CleanCtx(ctx context.Context, spec *server.Spec, seed float64, o *o
 		return nil, err
 	}
 	watts := AveragePower(run.PowerLog, run.Start, run.End)
-	return &Green500Result{
+	res := &Green500Result{
 		Server:   spec.Name,
 		Rmax:     m.GFLOPS,
 		AvgWatts: watts,
 		PPW:      workload.PPW(m.GFLOPS, watts),
-	}, nil
+	}
+	if opts.Flight != nil {
+		window := meter.Window(run.PowerLog, run.Start, run.End)
+		ph := flightPhase(spec, run, window, watts, trimmedCount(len(window)))
+		emitEnergyMetrics(o, sp.Ref(), spec.Name, ph.Energy)
+		opts.Flight.Add(flight.Record{
+			Method: "green500", Server: spec.Name, Seed: seed,
+			Key:          CanonicalHash(spec, seed, HashOpts{Method: "green500"}),
+			FaultProfile: "none",
+			Score:        res.PPW,
+			Phases:       []flight.Phase{ph},
+			Energy:       ph.Energy,
+			Sched:        flight.SchedStats{States: 1, Completed: 1},
+		})
+	}
+	return res, nil
 }
 
 // Comparison collects the three evaluation methods' scores for a set of
@@ -320,12 +359,16 @@ func CompareWithObs(specs []*server.Spec, seed float64, o *obs.Obs) (*Comparison
 // input order after the barrier, so the comparison is byte-identical at
 // every worker count.
 func CompareWithPool(specs []*server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Comparison, error) {
-	return compareCleanCtx(context.Background(), specs, seed, o, p)
+	return compareCleanCtx(context.Background(), specs, seed, EvalOptions{Obs: o, Pool: p})
 }
 
 // compareCleanCtx is the clean-path comparison body shared by
-// CompareWithPool and CompareCtx.
-func compareCleanCtx(ctx context.Context, specs []*server.Spec, seed float64, o *obs.Obs, p *sched.Pool) (*Comparison, error) {
+// CompareWithPool and CompareCtx. A comparison emits no record of its own:
+// its evaluate and Green500 legs each append theirs (per-leg seeds and
+// canonical keys), so a compare flight file reads as the set of runs it
+// actually performed.
+func compareCleanCtx(ctx context.Context, specs []*server.Spec, seed float64, opts EvalOptions) (*Comparison, error) {
+	o, p := opts.Obs, opts.Pool
 	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
 	defer cmpSpan.End()
 	type leg struct {
@@ -337,11 +380,11 @@ func compareCleanCtx(ctx context.Context, specs []*server.Spec, seed float64, o 
 	err := p.RunCtx(ctx, "compare", len(specs), func(i int) error {
 		spec := specs[i]
 		o.Infof("comparing methods on %s", spec.Name)
-		ev, err := evaluateCleanCtx(ctx, spec, seed+float64(i), o, p)
+		ev, err := evaluateCleanCtx(ctx, spec, seed+float64(i), opts)
 		if err != nil {
 			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := green500CleanCtx(ctx, spec, seed+float64(i)+0.5, o, p)
+		g, err := green500CleanCtx(ctx, spec, seed+float64(i)+0.5, opts)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"powerbench/internal/flight"
+	"powerbench/internal/meter"
+	"powerbench/internal/obs"
+	"powerbench/internal/pmu"
+	"powerbench/internal/server"
+	"powerbench/internal/sim"
+	"powerbench/internal/workload"
+)
+
+// This file builds the flight records the evaluation bodies append to
+// EvalOptions.Flight (DESIGN.md §10). Record assembly — trace integration,
+// energy attribution, PMU aggregation — runs only when a recorder is
+// present, so the unrecorded pipeline pays one nil check per run; the CI
+// overhead gate holds the recorded path to ≤3% on top of that.
+
+// energyBuckets bound per-phase energies from a short idle window (~10 kJ)
+// to a full-memory HPL run (~1 MJ), in joules.
+var energyBuckets = []float64{1e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6}
+
+// flightPhase summarizes one analyzed state window as a flight-record phase:
+// trace bounds and extrema, the row figures, the PMU window aggregate, and
+// the energy attribution over the (possibly repaired) window.
+func flightPhase(spec *server.Spec, r sim.RunResult, window []meter.Sample, watts float64, trimDropped int) flight.Phase {
+	p := flight.Phase{
+		Name:        r.Model.Name,
+		Start:       r.Start,
+		End:         r.End,
+		Samples:     len(window),
+		TrimDropped: trimDropped,
+		AvgWatts:    watts,
+		GFLOPS:      r.Model.GFLOPS,
+		PPW:         workload.PPW(r.Model.GFLOPS, watts),
+		Energy:      flight.Attribute(spec, r.Model, window, r.Start, r.End),
+		PMU:         pmuDelta(r.PMUSamples),
+	}
+	if len(window) > 0 {
+		p.MinWatts, p.MaxWatts = window[0].Watts, window[0].Watts
+		for _, s := range window[1:] {
+			if s.Watts < p.MinWatts {
+				p.MinWatts = s.Watts
+			}
+			if s.Watts > p.MaxWatts {
+				p.MaxWatts = s.Watts
+			}
+		}
+	}
+	return p
+}
+
+// pmuDelta sums a run's counter windows.
+func pmuDelta(samples []pmu.Sample) flight.PMUDelta {
+	d := flight.PMUDelta{Windows: len(samples)}
+	for _, s := range samples {
+		d.Instructions += s.Counts.Instructions
+		d.L2Hits += s.Counts.L2Hits
+		d.L3Hits += s.Counts.L3Hits
+		d.MemReads += s.Counts.MemReads
+		d.MemWrites += s.Counts.MemWrites
+	}
+	return d
+}
+
+// emitEnergyMetrics publishes a phase's attribution to the metrics registry,
+// linking each observation to its state span (the exemplar answers "which
+// run put this value in the tail bucket?").
+func emitEnergyMetrics(o *obs.Obs, spanRef string, server string, e flight.Energy) {
+	for _, c := range []struct {
+		component string
+		joules    float64
+	}{
+		{"total", e.TotalJ}, {"idle", e.IdleJ}, {"cpu", e.CPUJ},
+		{"memory", e.MemoryJ}, {"other", e.OtherJ},
+	} {
+		o.Histogram("core_phase_energy_joules", energyBuckets,
+			obs.L("component", c.component)).ObserveExemplar(c.joules, spanRef)
+	}
+	o.Gauge("core_run_energy_joules", obs.L("server", server)).Add(e.TotalJ)
+}
+
+// flightStats mirrors the quality annotations into the record schema.
+func (q *Quality) flightStats() flight.QualityStats {
+	return flight.QualityStats{
+		InvalidSamples:    q.InvalidSamples,
+		DuplicatesDropped: q.DuplicatesDropped,
+		SpikesClipped:     q.SpikesClipped,
+		GapSamplesFilled:  q.GapSamplesFilled,
+		RunsRetried:       q.RunsRetried,
+		RunsFailed:        q.RunsFailed,
+	}
+}
+
+// profileName renders the fault-profile identity a record carries ("none"
+// on the clean path, matching CanonicalHash's normalization).
+func (o EvalOptions) profileName() string {
+	if o.Fault.Active() {
+		return o.Fault.Name
+	}
+	return "none"
+}

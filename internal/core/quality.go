@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"powerbench/internal/fault"
+	"powerbench/internal/flight"
 	"powerbench/internal/hpl"
 	"powerbench/internal/meter"
 	"powerbench/internal/obs"
@@ -42,6 +43,11 @@ type EvalOptions struct {
 	// Retry overrides the per-run attempt budget under an active profile.
 	// The zero value selects 3 attempts with 1 ms backoff.
 	Retry sched.Retry
+	// Flight, when non-nil, receives one flight record per evaluation run
+	// (and one per leg of a comparison): phase windows, energy attribution,
+	// PMU deltas, fault counts and quality annotations, keyed by the run's
+	// CanonicalHash. Nil skips record assembly entirely.
+	Flight *flight.Recorder
 }
 
 func (o EvalOptions) retry() sched.Retry {
@@ -151,9 +157,15 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	}
 	engine := sim.New(spec, seed)
 	engine.Obs = o
-	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "fault"), opts.Ledger)
+	// Injected faults land in a private per-run ledger first: its counts are
+	// a pure function of this evaluation's identity, so the flight record
+	// stays deterministic, and the caller's shared ledger receives the same
+	// totals by merge.
+	runLedger := fault.NewLedger()
+	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "fault"), runLedger)
 	engine.Retry = opts.retry()
 	results, merged, reports := engine.RunPlanPartialCtx(ctx, models, 30, p)
+	opts.Ledger.AddAll(runLedger)
 
 	ev := &Evaluation{Server: spec.Name}
 	names := make([]string, len(models))
@@ -163,6 +175,8 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	ev.Quality.addReports(names, reports)
 
 	var sumG, sumW, sumPPW float64
+	var phases []flight.Phase
+	var runEnergy flight.Energy
 	analysis := sp.Child("analysis")
 	for i, r := range results {
 		if reports[i].Err != nil {
@@ -190,6 +204,14 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 		sumG += row.GFLOPS
 		sumW += row.Watts
 		sumPPW += row.PPW
+		if opts.Flight != nil {
+			// Attribution runs on the repaired window: the record describes
+			// the trace the analysis actually consumed.
+			ph := flightPhase(spec, r, repaired, watts, trimmedCount(len(repaired)))
+			emitEnergyMetrics(o, state.Ref(), spec.Name, ph.Energy)
+			runEnergy.Add(ph.Energy)
+			phases = append(phases, ph)
+		}
 		state.Arg("watts", watts).Arg("repairs", rep.Total()).End()
 	}
 	analysis.End()
@@ -200,6 +222,23 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	ev.AvgGFLOPS = sumG / n
 	ev.AvgWatts = sumW / n
 	ev.Score = sumPPW / n
+	if opts.Flight != nil {
+		opts.Flight.Add(flight.Record{
+			Method: "evaluate", Server: spec.Name, Seed: seed,
+			Key:          CanonicalHash(spec, seed, HashOpts{Method: "evaluate", FaultProfile: opts.Fault.Name}),
+			FaultProfile: opts.profileName(),
+			Score:        ev.Score,
+			Phases:       phases,
+			Energy:       runEnergy,
+			Sched: flight.SchedStats{
+				States: len(models), Completed: len(ev.Rows),
+				Retried: ev.Quality.RunsRetried, Failed: ev.Quality.RunsFailed,
+			},
+			Faults:  runLedger.Map(),
+			Quality: ev.Quality.flightStats(),
+			Notes:   ev.Quality.Notes,
+		})
+	}
 	o.Gauge("core_score", obs.L("server", spec.Name)).Set(ev.Score)
 	o.Infof("evaluated %s: score %.4f over %d/%d states (%s)",
 		spec.Name, ev.Score, len(ev.Rows), len(models), ev.Quality.Summary())
@@ -225,7 +264,8 @@ func green500FaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	}
 	engine := sim.New(spec, seed)
 	engine.Obs = o
-	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "g500fault"), opts.Ledger)
+	runLedger := fault.NewLedger()
+	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "g500fault"), runLedger)
 
 	var run sim.RunResult
 	reports := p.RunRetryAllCtx(ctx, "green500", 1, opts.retry(), func(_, attempt int) error {
@@ -240,6 +280,7 @@ func green500FaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 		run = r
 		return nil
 	})
+	opts.Ledger.AddAll(runLedger)
 	res := &Green500Result{Server: spec.Name, Rmax: m.GFLOPS}
 	res.Quality.addReports([]string{"green500"}, reports)
 	if reports[0].Err != nil {
@@ -251,6 +292,25 @@ func green500FaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	res.Quality.addRepair(rep)
 	res.AvgWatts = stats.TrimmedMean(meter.Watts(repaired), TrimFrac)
 	res.PPW = workload.PPW(m.GFLOPS, res.AvgWatts)
+	if opts.Flight != nil {
+		ph := flightPhase(spec, run, repaired, res.AvgWatts, trimmedCount(len(repaired)))
+		emitEnergyMetrics(o, sp.Ref(), spec.Name, ph.Energy)
+		opts.Flight.Add(flight.Record{
+			Method: "green500", Server: spec.Name, Seed: seed,
+			Key:          CanonicalHash(spec, seed, HashOpts{Method: "green500", FaultProfile: opts.Fault.Name}),
+			FaultProfile: opts.profileName(),
+			Score:        res.PPW,
+			Phases:       []flight.Phase{ph},
+			Energy:       ph.Energy,
+			Sched: flight.SchedStats{
+				States: 1, Completed: 1,
+				Retried: res.Quality.RunsRetried, Failed: res.Quality.RunsFailed,
+			},
+			Faults:  runLedger.Map(),
+			Quality: res.Quality.flightStats(),
+			Notes:   res.Quality.Notes,
+		})
+	}
 	return res, nil
 }
 

@@ -76,6 +76,43 @@ func (l *Ledger) Count(k Kind) int64 {
 	return atomic.LoadInt64(&l.counts[k])
 }
 
+// Counts returns a snapshot of all per-kind totals, indexed by Kind.
+func (l *Ledger) Counts() [NumKinds]int64 {
+	var out [NumKinds]int64
+	for k := Kind(0); k < numKinds; k++ {
+		out[k] = l.Count(k)
+	}
+	return out
+}
+
+// AddAll folds another ledger's counts into l (the merge half of the
+// private-ledger pattern: run with a per-run ledger for deterministic
+// per-run counts, then AddAll into the shared one). Nil receivers and
+// arguments are no-ops.
+func (l *Ledger) AddAll(other *Ledger) {
+	if l == nil || other == nil {
+		return
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		l.add(k, other.Count(k))
+	}
+}
+
+// Map returns the non-zero counts keyed by kind name, the form flight
+// records serialize. A nil or empty ledger returns nil.
+func (l *Ledger) Map() map[string]int64 {
+	var out map[string]int64
+	for k := Kind(0); k < numKinds; k++ {
+		if n := l.Count(k); n > 0 {
+			if out == nil {
+				out = map[string]int64{}
+			}
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
 // Total returns the number of injected faults across all kinds.
 func (l *Ledger) Total() int64 {
 	var sum int64

@@ -1,0 +1,158 @@
+package flight
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PhaseDelta is the per-phase comparison of two runs. A and B are nil when
+// the phase exists on only one side.
+type PhaseDelta struct {
+	Name string
+	A, B *Phase
+	// Deltas are B − A; zero when either side is missing.
+	DTotalJ, DIdleJ, DCPUJ, DMemoryJ, DOtherJ float64
+	DAvgWatts, DPPW                           float64
+}
+
+// RecordDiff compares two records of the same (method, server) identity.
+type RecordDiff struct {
+	Method, Server string
+	A, B           *Record
+	DScore         float64
+	DEnergy        Energy
+	Phases         []PhaseDelta
+}
+
+// Diff pairs the records of two flight files by (method, server) in
+// canonical order and reports the per-phase energy deltas of each pair.
+// Records present on only one side yield a diff with the other pointer nil.
+func Diff(a, b []Record) []RecordDiff {
+	type key struct{ method, server string }
+	index := func(recs []Record) (map[key][]*Record, []key) {
+		m := map[key][]*Record{}
+		var order []key
+		for i := range recs {
+			k := key{recs[i].Method, recs[i].Server}
+			if _, ok := m[k]; !ok {
+				order = append(order, k)
+			}
+			m[k] = append(m[k], &recs[i])
+		}
+		return m, order
+	}
+	am, order := index(a)
+	bm, border := index(b)
+	for _, k := range border {
+		if _, ok := am[k]; !ok {
+			order = append(order, k)
+		}
+	}
+	var out []RecordDiff
+	for _, k := range order {
+		as, bs := am[k], bm[k]
+		n := len(as)
+		if len(bs) > n {
+			n = len(bs)
+		}
+		for i := 0; i < n; i++ {
+			d := RecordDiff{Method: k.method, Server: k.server}
+			if i < len(as) {
+				d.A = as[i]
+			}
+			if i < len(bs) {
+				d.B = bs[i]
+			}
+			if d.A != nil && d.B != nil {
+				d.DScore = d.B.Score - d.A.Score
+				d.DEnergy = energyDelta(d.A.Energy, d.B.Energy)
+			}
+			d.Phases = diffPhases(d.A, d.B)
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func energyDelta(a, b Energy) Energy {
+	return Energy{
+		TotalJ:  b.TotalJ - a.TotalJ,
+		IdleJ:   b.IdleJ - a.IdleJ,
+		CPUJ:    b.CPUJ - a.CPUJ,
+		MemoryJ: b.MemoryJ - a.MemoryJ,
+		OtherJ:  b.OtherJ - a.OtherJ,
+	}
+}
+
+// diffPhases aligns phases by name (first occurrence wins; plans never
+// repeat a state name) preserving A's order, with B-only phases appended.
+func diffPhases(a, b *Record) []PhaseDelta {
+	var out []PhaseDelta
+	bleft := map[string]*Phase{}
+	var border []string
+	if b != nil {
+		for i := range b.Phases {
+			p := &b.Phases[i]
+			if _, ok := bleft[p.Name]; !ok {
+				bleft[p.Name] = p
+				border = append(border, p.Name)
+			}
+		}
+	}
+	if a != nil {
+		for i := range a.Phases {
+			pa := &a.Phases[i]
+			d := PhaseDelta{Name: pa.Name, A: pa}
+			if pb, ok := bleft[pa.Name]; ok {
+				d.B = pb
+				delete(bleft, pa.Name)
+				d.DTotalJ = pb.Energy.TotalJ - pa.Energy.TotalJ
+				d.DIdleJ = pb.Energy.IdleJ - pa.Energy.IdleJ
+				d.DCPUJ = pb.Energy.CPUJ - pa.Energy.CPUJ
+				d.DMemoryJ = pb.Energy.MemoryJ - pa.Energy.MemoryJ
+				d.DOtherJ = pb.Energy.OtherJ - pa.Energy.OtherJ
+				d.DAvgWatts = pb.AvgWatts - pa.AvgWatts
+				d.DPPW = pb.PPW - pa.PPW
+			}
+			out = append(out, d)
+		}
+	}
+	for _, name := range border {
+		if pb, ok := bleft[name]; ok {
+			out = append(out, PhaseDelta{Name: name, B: pb})
+		}
+	}
+	return out
+}
+
+// Render writes a diff as a phase-by-phase text report, the output of
+// `powerbench flight diff`.
+func Render(diffs []RecordDiff) string {
+	var b strings.Builder
+	for _, d := range diffs {
+		switch {
+		case d.A == nil:
+			fmt.Fprintf(&b, "%s %s: only in B (score %.4f)\n", d.Method, d.Server, d.B.Score)
+			continue
+		case d.B == nil:
+			fmt.Fprintf(&b, "%s %s: only in A (score %.4f)\n", d.Method, d.Server, d.A.Score)
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s: seed %g -> %g, score %+.4f, energy %+.1f J\n",
+			d.Method, d.Server, d.A.Seed, d.B.Seed, d.DScore, d.DEnergy.TotalJ)
+		fmt.Fprintf(&b, "  %-14s %12s %12s %12s %12s %10s\n",
+			"phase", "Δtotal J", "Δcpu J", "Δmemory J", "Δidle J", "Δavg W")
+		for _, p := range d.Phases {
+			switch {
+			case p.A == nil:
+				fmt.Fprintf(&b, "  %-14s only in B (%.1f J)\n", p.Name, p.B.Energy.TotalJ)
+			case p.B == nil:
+				fmt.Fprintf(&b, "  %-14s only in A (%.1f J)\n", p.Name, p.A.Energy.TotalJ)
+			default:
+				fmt.Fprintf(&b, "  %-14s %+12.1f %+12.1f %+12.1f %+12.1f %+10.2f\n",
+					p.Name, p.DTotalJ, p.DCPUJ, p.DMemoryJ, p.DIdleJ, p.DAvgWatts)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the flight JSONL decoder. The decoder
+// must never panic, and anything it accepts must survive a re-encode →
+// re-decode round trip through the recorder.
+func FuzzDecode(f *testing.F) {
+	r := NewRecorder(0)
+	r.Add(testRecord("Xeon-E5462", 1, 0.06))
+	r.Add(testRecord("Opteron-8347", 2, 0.02))
+	f.Add(string(r.Bytes()))
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"schema":"powerbench-flight-v1","method":"evaluate","server":"S","seed":1}`)
+	f.Add(`{"schema":"powerbench-flight-v1","method":"bogus"}`)
+	f.Add(`{"schema":`)
+	f.Add(`{"schema":"powerbench-flight-v1","method":"evaluate","server":"S","seed":1e999}`)
+	f.Add("null\ntrue\n[]")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		rt := NewRecorder(len(recs) + 1)
+		for _, rec := range recs {
+			rt.Add(rec)
+		}
+		if rt.Dropped() != 0 {
+			t.Fatalf("accepted records failed to re-encode")
+		}
+		again, err := Decode(bytes.NewReader(rt.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted records failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip lost records: %d -> %d", len(recs), len(again))
+		}
+	})
+}

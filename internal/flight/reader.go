@@ -1,0 +1,114 @@
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// maxLineBytes bounds one JSONL line; a flight record is a few KiB, so a
+// megabyte line is already corrupt.
+const maxLineBytes = 1 << 20
+
+// Decode reads a JSONL flight record stream, validating every record.
+// Blank lines are skipped; any malformed or out-of-schema line fails the
+// whole decode with its line number, because a flight file is an integrity
+// artifact, not a best-effort log.
+func Decode(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("flight: line %d: %v", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("flight: line %d: trailing data after record", line)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("flight: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flight: reading records: %w", err)
+	}
+	return out, nil
+}
+
+// Open reads and validates the flight records of a JSONL file.
+func Open(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	defer f.Close()
+	recs, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return recs, nil
+}
+
+// Validate checks a record's structural invariants: the schema marker, a
+// known method, finite numerics, and ordered phase boundaries.
+func (r *Record) Validate() error {
+	if r.SchemaV != Schema {
+		return fmt.Errorf("unknown schema %q (want %q)", r.SchemaV, Schema)
+	}
+	switch r.Method {
+	case "evaluate", "green500":
+	default:
+		return fmt.Errorf("unknown method %q", r.Method)
+	}
+	if r.Server == "" {
+		return fmt.Errorf("record has no server")
+	}
+	if !isFinite(r.Seed) || !isFinite(r.Score) {
+		return fmt.Errorf("non-finite seed or score")
+	}
+	if err := r.Energy.validate(); err != nil {
+		return fmt.Errorf("run energy: %w", err)
+	}
+	for i, p := range r.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("phase %d has no name", i)
+		}
+		if !isFinite(p.Start) || !isFinite(p.End) || p.End < p.Start {
+			return fmt.Errorf("phase %q has invalid bounds [%g, %g]", p.Name, p.Start, p.End)
+		}
+		if p.Samples < 0 || p.TrimDropped < 0 || p.PMU.Windows < 0 {
+			return fmt.Errorf("phase %q has negative counts", p.Name)
+		}
+		if err := p.Energy.validate(); err != nil {
+			return fmt.Errorf("phase %q energy: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+func (e Energy) validate() error {
+	for _, v := range []float64{e.TotalJ, e.IdleJ, e.CPUJ, e.MemoryJ, e.OtherJ} {
+		if !isFinite(v) {
+			return fmt.Errorf("non-finite component")
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -26,6 +26,9 @@ type SnapshotMetric struct {
 	Sum     float64           `json:"sum,omitempty"`
 	Count   int64             `json:"count,omitempty"`
 	Buckets []SnapshotBucket  `json:"buckets,omitempty"`
+	// Exemplar links the histogram's most recent ObserveExemplar call to its
+	// originating trace span.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot is the exportable state of a registry (and optionally the event
@@ -73,7 +76,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range r.histograms {
 		m := SnapshotMetric{
 			Name: h.name, Type: "histogram", Labels: labelMap(h.labels),
-			Sum: h.Sum(),
+			Sum: h.Sum(), Exemplar: h.Exemplar(),
 		}
 		var cum int64
 		for i, ub := range h.bounds {
@@ -197,8 +200,14 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 						return err
 					}
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name,
-					promLabels(m.Labels, "le", "+Inf"), m.Count); err != nil {
+				// The exemplar rides on the +Inf bucket line (OpenMetrics
+				// syntax); plain 0.0.4 scrapers treat the suffix as a comment.
+				exemplar := ""
+				if m.Exemplar != nil {
+					exemplar = fmt.Sprintf(" # {span=%q} %s", m.Exemplar.Ref, formatValue(m.Exemplar.Value))
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+					promLabels(m.Labels, "le", "+Inf"), m.Count, exemplar); err != nil {
 					return err
 				}
 				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(m.Labels), formatValue(m.Sum)); err != nil {

@@ -162,6 +162,17 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Exemplar links one recent observation of a histogram to the trace span
+// that produced it, the way OpenMetrics exemplars tie a bucket to a trace ID.
+// Only the latest exemplar is kept: it is a debugging breadcrumb ("which run
+// produced this tail value?"), not a statistic.
+type Exemplar struct {
+	// Ref identifies the originating span (Span.Ref).
+	Ref string `json:"ref"`
+	// Value is the observed value the exemplar annotates.
+	Value float64 `json:"value"`
+}
+
 // Histogram counts observations into cumulative buckets, Prometheus-style.
 type Histogram struct {
 	name   string
@@ -170,6 +181,9 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	exmu     sync.Mutex
+	exemplar *Exemplar
 }
 
 // DefaultLatencyBuckets suit sub-millisecond to multi-second spans (seconds).
@@ -197,6 +211,35 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records v and attaches a span reference as the
+// histogram's latest exemplar. An empty ref degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, ref string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if ref == "" {
+		return
+	}
+	h.exmu.Lock()
+	h.exemplar = &Exemplar{Ref: ref, Value: v}
+	h.exmu.Unlock()
+}
+
+// Exemplar returns the latest exemplar, or nil when none was recorded.
+func (h *Histogram) Exemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exmu.Lock()
+	defer h.exmu.Unlock()
+	if h.exemplar == nil {
+		return nil
+	}
+	e := *h.exemplar
+	return &e
+}
+
 // Count returns the number of observations (zero on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -213,23 +256,86 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// DefaultSeriesLimit caps the distinct label sets one metric name may grow.
+// 64 covers every legitimate family in this repository (routes × status
+// codes is the widest) while stopping an unbounded label — a raw path, a
+// request ID — from growing the registry without bound.
+const DefaultSeriesLimit = 64
+
+// droppedLabelsMetric counts label sets refused by the cardinality guard,
+// labeled by the offending metric name.
+const droppedLabelsMetric = "obs_dropped_labels_total"
+
 // Registry holds every metric of one run. All methods are safe for
 // concurrent use; the get-or-create path takes a mutex, so instrumentation
 // sites that fire per-sample should hold on to the returned handle.
+//
+// A cardinality guard bounds every metric name to a fixed number of
+// distinct label sets (DefaultSeriesLimit, adjustable with SetSeriesLimit):
+// once a name is at its limit, further labeled lookups fall back to the
+// name's unlabeled series and obs_dropped_labels_total{metric=name} counts
+// the refusal, so a mislabeled hot path degrades to a coarser aggregate
+// instead of growing the registry without bound.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
+	seriesLimit int
+	series      map[string]int // distinct label sets per metric name
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		histograms:  map[string]*Histogram{},
+		seriesLimit: DefaultSeriesLimit,
+		series:      map[string]int{},
 	}
+}
+
+// SetSeriesLimit adjusts the per-name label-set cap (0 restores the
+// default). It only affects series created after the call.
+func (r *Registry) SetSeriesLimit(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultSeriesLimit
+	}
+	r.mu.Lock()
+	r.seriesLimit = n
+	r.mu.Unlock()
+}
+
+// admit is the guard on the get-or-create path; the caller holds r.mu and
+// has already missed the lookup for (name, ls). It reports whether the new
+// series may be created; on refusal it bumps the dropped-labels counter
+// (created inline under the lock — it must not re-enter the guard).
+func (r *Registry) admit(name string, ls []Label) bool {
+	if r.series == nil {
+		// Zero-value registries (constructed without NewRegistry) get the
+		// default limit lazily.
+		r.series = map[string]int{}
+	}
+	if r.seriesLimit <= 0 {
+		r.seriesLimit = DefaultSeriesLimit
+	}
+	if len(ls) == 0 || r.series[name] < r.seriesLimit || name == droppedLabelsMetric {
+		r.series[name]++
+		return true
+	}
+	dropKey := metricKey(droppedLabelsMetric, []Label{{Key: "metric", Value: name}})
+	c, ok := r.counters[dropKey]
+	if !ok {
+		c = &Counter{name: droppedLabelsMetric, labels: []Label{{Key: "metric", Value: name}}}
+		r.counters[dropKey] = c
+		r.series[droppedLabelsMetric]++
+	}
+	c.Add(1)
+	return false
 }
 
 // Counter returns the counter for (name, labels), creating it on first use.
@@ -244,6 +350,13 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[key]
 	if !ok {
+		if !r.admit(name, ls) {
+			ls, key = nil, name
+			if c, ok = r.counters[key]; ok {
+				return c
+			}
+			r.series[name]++
+		}
 		c = &Counter{name: name, labels: ls}
 		r.counters[key] = c
 	}
@@ -261,6 +374,13 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[key]
 	if !ok {
+		if !r.admit(name, ls) {
+			ls, key = nil, name
+			if g, ok = r.gauges[key]; ok {
+				return g
+			}
+			r.series[name]++
+		}
 		g = &Gauge{name: name, labels: ls}
 		r.gauges[key] = g
 	}
@@ -279,6 +399,13 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 	defer r.mu.Unlock()
 	h, ok := r.histograms[key]
 	if !ok {
+		if !r.admit(name, ls) {
+			ls, key = nil, name
+			if h, ok = r.histograms[key]; ok {
+				return h
+			}
+			r.series[name]++
+		}
 		if len(buckets) == 0 {
 			buckets = DefaultLatencyBuckets
 		}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeBridge mirrors a fixed set of Go runtime/metrics samples into the
+// registry, giving a long-running daemon the process-health series every
+// production service exports (goroutines, heap, GC activity, scheduler
+// latency) without importing a client library. Cumulative runtime counters
+// become registry counters via previous-value deltas; instantaneous values
+// become gauges.
+type RuntimeBridge struct {
+	mu      sync.Mutex
+	reg     *Registry
+	samples []metrics.Sample
+	prev    map[string]uint64
+}
+
+// runtimeSeries maps the runtime/metrics names the bridge exports to their
+// registry names. Only stable, broadly useful series are bridged; the full
+// runtime/metrics catalog is hundreds of entries.
+var runtimeSeries = []struct {
+	src, dst string
+	counter  bool
+}{
+	{src: "/sched/goroutines:goroutines", dst: "go_goroutines"},
+	{src: "/memory/classes/heap/objects:bytes", dst: "go_heap_objects_bytes"},
+	{src: "/memory/classes/total:bytes", dst: "go_memory_total_bytes"},
+	{src: "/gc/heap/allocs:bytes", dst: "go_heap_allocs_bytes_total", counter: true},
+	{src: "/gc/cycles/total:gc-cycles", dst: "go_gc_cycles_total", counter: true},
+	{src: "/sync/mutex/wait/total:seconds", dst: "go_mutex_wait_seconds"},
+	{src: "/cpu/classes/total:cpu-seconds", dst: "go_cpu_seconds"},
+}
+
+// NewRuntimeBridge returns a bridge that samples into reg. A nil registry
+// yields a nil (no-op) bridge.
+func NewRuntimeBridge(reg *Registry) *RuntimeBridge {
+	if reg == nil {
+		return nil
+	}
+	b := &RuntimeBridge{reg: reg, prev: map[string]uint64{}}
+	for _, s := range runtimeSeries {
+		b.samples = append(b.samples, metrics.Sample{Name: s.src})
+	}
+	return b
+}
+
+// Sample reads the runtime metrics once and updates the registry. Safe to
+// call from a ticker goroutine and from a scrape handler concurrently.
+func (b *RuntimeBridge) Sample() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	metrics.Read(b.samples)
+	for i, s := range runtimeSeries {
+		v := b.samples[i].Value
+		var f float64
+		var u uint64
+		switch v.Kind() {
+		case metrics.KindUint64:
+			u = v.Uint64()
+			f = float64(u)
+		case metrics.KindFloat64:
+			f = v.Float64()
+			u = uint64(f)
+		default:
+			continue
+		}
+		if s.counter {
+			// Runtime counters are cumulative; replay only the delta since
+			// the previous sample so the registry counter stays monotone.
+			if d := u - b.prev[s.src]; u >= b.prev[s.src] && d > 0 {
+				b.reg.Counter(s.dst).Add(int64(d))
+			}
+			b.prev[s.src] = u
+		} else {
+			b.reg.Gauge(s.dst).Set(f)
+		}
+	}
+}
+
+// Start samples immediately and then every interval until the returned stop
+// function is called. Interval 0 selects 10 s.
+func (b *RuntimeBridge) Start(interval time.Duration) (stop func()) {
+	if b == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	b.Sample()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				b.Sample()
+			}
+		}
+	}()
+	return func() { close(done) }
+}

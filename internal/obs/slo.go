@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOTracker keeps per-second counts of request outcomes in a one-hour ring
+// and publishes multi-window burn-rate gauges, the standard SLO alerting
+// signal: burn rate = (observed error rate) / (error budget rate), where the
+// budget rate is 1 − objective. A burn rate of 1 consumes the budget exactly
+// at the sustainable pace; 14.4 exhausts a 30-day budget in 2 days — the
+// classic page threshold.
+//
+// Two SLOs are tracked: availability (non-5xx responses) and latency
+// (responses under LatencyThreshold). Each publishes one gauge per window:
+//
+//	slo_availability_burn_rate{window="5m"|"1h"}
+//	slo_latency_burn_rate{window="5m"|"1h"}
+type SLOTracker struct {
+	mu   sync.Mutex
+	cfg  SLOConfig
+	ring [slotCount]sloSlot
+
+	availGauges, latGauges map[time.Duration]*Gauge
+}
+
+// slotCount is one hour of per-second slots, enough for the longest window.
+const slotCount = 3600
+
+type sloSlot struct {
+	sec           int64 // unix second this slot currently holds
+	total, errors int64
+	slow          int64
+}
+
+// SLOConfig parameterizes a tracker. The zero value selects 99.9%
+// availability, 99% of requests under 500 ms, and 5m/1h windows.
+type SLOConfig struct {
+	// Availability is the fraction of requests that must not fail (5xx).
+	Availability float64
+	// LatencyObjective is the fraction of requests that must be fast.
+	LatencyObjective float64
+	// LatencyThreshold divides fast from slow responses.
+	LatencyThreshold time.Duration
+	// Windows are the burn-rate evaluation windows (each ≤ 1h).
+	Windows []time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = 0.999
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.99
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 500 * time.Millisecond
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	for i, w := range c.Windows {
+		if w <= 0 || w > time.Hour {
+			c.Windows[i] = time.Hour
+		}
+	}
+	return c
+}
+
+// NewSLOTracker returns a tracker publishing into reg. A nil registry yields
+// a nil (no-op) tracker.
+func NewSLOTracker(reg *Registry, cfg SLOConfig) *SLOTracker {
+	if reg == nil {
+		return nil
+	}
+	t := &SLOTracker{
+		cfg:         cfg.withDefaults(),
+		availGauges: map[time.Duration]*Gauge{},
+		latGauges:   map[time.Duration]*Gauge{},
+	}
+	for _, w := range t.cfg.Windows {
+		l := L("window", shortDuration(w))
+		t.availGauges[w] = reg.Gauge("slo_availability_burn_rate", l)
+		t.latGauges[w] = reg.Gauge("slo_latency_burn_rate", l)
+	}
+	return t
+}
+
+// shortDuration renders 5m0s as "5m" and 1h0m0s as "1h".
+func shortDuration(w time.Duration) string {
+	s := w.String()
+	for _, suffix := range []string{"m0s", "h0m"} {
+		if n := len(s) - len(suffix); n > 0 && s[n:] == suffix {
+			s = s[:n+1]
+		}
+	}
+	return s
+}
+
+// Observe records one request outcome at the current time.
+func (t *SLOTracker) Observe(status int, latency time.Duration) {
+	if t == nil {
+		return
+	}
+	t.observeAt(time.Now().Unix(), status, latency)
+}
+
+// observeAt is Observe at an explicit unix second (tests drive this
+// directly to exercise window arithmetic without waiting).
+func (t *SLOTracker) observeAt(sec int64, status int, latency time.Duration) {
+	t.mu.Lock()
+	slot := &t.ring[((sec%slotCount)+slotCount)%slotCount]
+	if slot.sec != sec {
+		*slot = sloSlot{sec: sec}
+	}
+	slot.total++
+	if status >= 500 {
+		slot.errors++
+	}
+	if latency > t.cfg.LatencyThreshold {
+		slot.slow++
+	}
+	t.mu.Unlock()
+}
+
+// Publish recomputes the burn-rate gauges at the current time; a scrape
+// handler calls this so idle periods decay the rates.
+func (t *SLOTracker) Publish() {
+	if t == nil {
+		return
+	}
+	t.publishAt(time.Now().Unix())
+}
+
+func (t *SLOTracker) publishAt(now int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.cfg.Windows {
+		secs := int64(w / time.Second)
+		var total, errors, slow int64
+		for s := now - secs + 1; s <= now; s++ {
+			slot := &t.ring[((s%slotCount)+slotCount)%slotCount]
+			if slot.sec != s {
+				continue
+			}
+			total += slot.total
+			errors += slot.errors
+			slow += slot.slow
+		}
+		var availBurn, latBurn float64
+		if total > 0 {
+			availBurn = (float64(errors) / float64(total)) / (1 - t.cfg.Availability)
+			latBurn = (float64(slow) / float64(total)) / (1 - t.cfg.LatencyObjective)
+		}
+		t.availGauges[w].Set(availBurn)
+		t.latGauges[w].Set(latBurn)
+	}
+}

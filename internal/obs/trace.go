@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -21,6 +22,7 @@ type Tracer struct {
 	epoch   time.Time
 	events  []TraceEvent
 	nextTid int64
+	nextSid int64
 }
 
 // TraceEvent is one begin ('B') or end ('E') record.
@@ -39,6 +41,7 @@ type Span struct {
 	name  string
 	cat   string
 	tid   int64
+	sid   int64
 	args  map[string]any
 	ended bool
 }
@@ -66,9 +69,11 @@ func (t *Tracer) Start(name, cat string) *Span {
 	t.mu.Lock()
 	t.nextTid++
 	tid := t.nextTid
+	t.nextSid++
+	sid := t.nextSid
 	t.mu.Unlock()
 	t.begin(name, cat, tid)
-	return &Span{t: t, name: name, cat: cat, tid: tid}
+	return &Span{t: t, name: name, cat: cat, tid: tid, sid: sid}
 }
 
 // Child opens a sub-span on the parent's track. The child must End before
@@ -79,7 +84,22 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	s.t.begin(name, s.cat, s.tid)
-	return &Span{t: s.t, name: name, cat: s.cat, tid: s.tid}
+	s.t.mu.Lock()
+	s.t.nextSid++
+	sid := s.t.nextSid
+	s.t.mu.Unlock()
+	return &Span{t: s.t, name: name, cat: s.cat, tid: s.tid, sid: sid}
+}
+
+// Ref returns a stable reference to the span ("name#id") suitable as a
+// metric exemplar link: the id is the span's creation ordinal on its
+// tracer, and the same name#id appears nowhere else in the trace. A nil
+// span returns "".
+func (s *Span) Ref() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s#%d", s.name, s.sid)
 }
 
 // SetVirtual records the span's interval on the simulation's virtual clock

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"powerbench/internal/flight"
+)
+
+// This file is the service's flight-recorder surface (DESIGN.md §10): each
+// computed request records a flight (per-run records with phase energy
+// attribution), stored under a content-addressed flight id and served back
+// on GET /v1/flights/{id} as JSONL for `powerbench flight` to inspect.
+
+// flightHeader names the response header carrying the request's flight id.
+// The id is a pure function of the request key, so it is present on hits,
+// misses and dedup joins alike; the stored flight itself exists once the
+// underlying computation has settled successfully.
+const flightHeader = "X-Powerbench-Flight"
+
+// flightID derives the stable flight identifier for a request: the hex
+// SHA-256 of the canonical request key. Identical requests share a flight
+// id exactly as they share cached response bytes.
+func flightID(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// storeFlight publishes a settled computation's flight records under id:
+// into the bounded in-memory store always, and as <id>.jsonl under
+// FlightDir when configured (post-mortem pickup across restarts).
+func (s *Server) storeFlight(id string, rec *flight.Recorder) {
+	if rec.Len() == 0 {
+		return
+	}
+	data := rec.Bytes()
+	evicted := s.flightRecs.Put(id, data)
+	s.obs.Counter("serve_flights_recorded_total").Inc()
+	s.obs.Counter("serve_flight_evictions_total").Add(int64(evicted))
+	s.obs.Gauge("serve_flight_entries").Set(float64(s.flightRecs.Len()))
+	if dropped := rec.Dropped(); dropped > 0 {
+		s.obs.Counter("serve_flight_records_dropped_total").Add(dropped)
+	}
+	if s.cfg.FlightDir != "" {
+		path := filepath.Join(s.cfg.FlightDir, id+".jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			s.obs.Counter("serve_flight_write_errors_total").Inc()
+			s.obs.Infof("flight %s not persisted: %v", id, err)
+		}
+	}
+}
+
+// handleFlight serves a stored flight-record stream by id, falling back to
+// FlightDir when the in-memory store has evicted it.
+func (s *Server) handleFlight(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if !validFlightID(id) {
+		writeError(w, http.StatusBadRequest, "flight id must be 64 lowercase hex characters")
+		return
+	}
+	data, ok := s.flightRecs.Get(id)
+	if !ok && s.cfg.FlightDir != "" {
+		// The id is validated hex, so the join cannot escape FlightDir.
+		if b, err := os.ReadFile(filepath.Join(s.cfg.FlightDir, id+".jsonl")); err == nil {
+			data, ok = b, true
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no flight recorded under "+id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func validFlightID(id string) bool {
+	if len(id) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

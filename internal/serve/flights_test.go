@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerbench/internal/core"
+	"powerbench/internal/flight"
+	"powerbench/internal/obs"
+	"powerbench/internal/server"
+)
+
+// A computed request advertises its flight id and the flight is retrievable
+// as valid, decodable JSONL; a cache hit advertises the same id.
+func TestFlightRecordedAndServed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline")
+	}
+	o := obs.New()
+	s := newTestServer(t, Config{Obs: o})
+	body := `{"server":"Xeon-E5462","seed":11}`
+
+	first := do(s, "POST", "/v1/evaluate", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", first.Code, first.Body.String())
+	}
+	id := first.Header().Get(flightHeader)
+	if !validFlightID(id) {
+		t.Fatalf("flight header %q is not a flight id", id)
+	}
+	second := do(s, "POST", "/v1/evaluate", body)
+	if got := second.Header().Get(flightHeader); got != id {
+		t.Errorf("cache hit advertises flight %q, miss advertised %q", got, id)
+	}
+
+	rec := do(s, "GET", "/v1/flights/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("flight fetch: %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	recs, err := flight.Decode(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("served flight does not decode: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records in evaluate flight, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Method != "evaluate" || r.Server != "Xeon-E5462" || r.Seed != 11 {
+		t.Errorf("record identity %s/%s/%g", r.Method, r.Server, r.Seed)
+	}
+	if !r.Energy.Conserves(0.001) {
+		t.Error("served flight energy does not conserve")
+	}
+	if got := o.Counter("serve_flights_recorded_total").Value(); got != 1 {
+		t.Errorf("serve_flights_recorded_total = %d, want 1", got)
+	}
+}
+
+// Flight lookups validate ids and answer 404 for unknown flights.
+func TestFlightLookupErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := do(s, "GET", "/v1/flights/nothex", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed id: status %d, want 400", rec.Code)
+	}
+	missing := strings.Repeat("ab", 32)
+	if rec := do(s, "GET", "/v1/flights/"+missing, ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", rec.Code)
+	}
+}
+
+// With FlightDir set, flights survive in-memory eviction: a one-entry store
+// evicts the first flight, which is then served from disk.
+func TestFlightDirPersistsAcrossEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{FlightDir: dir, FlightEntries: 1})
+	s.evalFn = func(ctx context.Context, spec *server.Spec, seed float64, opts core.EvalOptions) (*core.Evaluation, error) {
+		opts.Flight.Add(flight.Record{
+			Method: "evaluate", Server: spec.Name, Seed: seed, Key: "k", FaultProfile: "none",
+		})
+		return &core.Evaluation{Server: spec.Name, Score: seed}, nil
+	}
+
+	first := do(s, "POST", "/v1/evaluate", `{"server":"Xeon-E5462","seed":1}`)
+	id := first.Header().Get(flightHeader)
+	do(s, "POST", "/v1/evaluate", `{"server":"Xeon-E5462","seed":2}`) // evicts flight 1
+
+	if _, ok := s.flightRecs.Get(id); ok {
+		t.Fatal("first flight still in the one-entry store")
+	}
+	rec := do(s, "GET", "/v1/flights/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("evicted flight not served from dir: %d", rec.Code)
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, id+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(disk, rec.Body.Bytes()) {
+		t.Error("served bytes differ from the persisted file")
+	}
+}
+
+// EnableProfiling mounts the pprof index; without it the routes 404.
+func TestProfilingRoutes(t *testing.T) {
+	on := newTestServer(t, Config{EnableProfiling: true})
+	if rec := do(on, "GET", "/debug/pprof/", ""); rec.Code != http.StatusOK {
+		t.Errorf("pprof index: status %d, want 200", rec.Code)
+	}
+	if rec := do(on, "GET", "/debug/pprof/heap", ""); rec.Code != http.StatusOK {
+		t.Errorf("pprof heap: status %d, want 200", rec.Code)
+	}
+	off := newTestServer(t, Config{})
+	if rec := do(off, "GET", "/debug/pprof/", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without EnableProfiling: status %d, want 404", rec.Code)
+	}
+}
+
+// The burn-rate gauges are published on scrape and reflect failures: all
+// errors against a 99.9% availability objective is a burn rate of 1000.
+func TestSLOBurnRatesOnScrape(t *testing.T) {
+	o := obs.New()
+	s := newTestServer(t, Config{Obs: o})
+	s.evalFn = func(ctx context.Context, spec *server.Spec, seed float64, opts core.EvalOptions) (*core.Evaluation, error) {
+		return nil, fmt.Errorf("synthetic failure")
+	}
+	if rec := do(s, "POST", "/v1/evaluate", `{"server":"Xeon-E5462","seed":1}`); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	body := do(s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		`slo_availability_burn_rate{window="5m"}`,
+		`slo_availability_burn_rate{window="1h"}`,
+		`slo_latency_burn_rate{window="5m"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if g := o.Gauge("slo_availability_burn_rate", obs.L("window", "5m")).Value(); g < 999 {
+		t.Errorf("availability burn rate %g after an all-error window, want ~1000", g)
+	}
+}
+
+// Pre-touched counters make the first scrape unambiguous: the SLO-relevant
+// series are present at zero before any traffic.
+func TestCountersPreTouched(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := do(s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"serve_cache_hits_total 0",
+		"serve_admission_rejected_total 0",
+		"serve_compute_errors_total 0",
+		"serve_flights_recorded_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("first scrape missing %q", want)
+		}
+	}
+}
+
+// Shutdown publishes how long the drain took.
+func TestDrainGauge(t *testing.T) {
+	o := obs.New()
+	s := New(Config{Obs: o, Jobs: 1})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if g := o.Gauge("serve_drain_seconds").Value(); g <= 0 {
+		t.Errorf("serve_drain_seconds = %g, want > 0", g)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"powerbench/internal/core"
 	"powerbench/internal/fault"
+	"powerbench/internal/flight"
 	"powerbench/internal/server"
 )
 
@@ -105,8 +106,8 @@ func fail(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, err.Error())
 }
 
-func (s *Server) opts(profile *fault.Profile) core.EvalOptions {
-	return core.EvalOptions{Obs: s.obs, Pool: s.pool, Fault: profile}
+func (s *Server) opts(profile *fault.Profile, rec *flight.Recorder) core.EvalOptions {
+	return core.EvalOptions{Obs: s.obs, Pool: s.pool, Fault: profile, Flight: rec}
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, req *http.Request) {
@@ -127,8 +128,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, req *http.Request) {
 	}
 	key := "evaluate|" + core.CanonicalHash(spec, er.Seed,
 		core.HashOpts{Method: "evaluate", FaultProfile: er.FaultProfile})
-	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context) (any, error) {
-		return s.evalFn(ctx, spec, er.Seed, s.opts(profile))
+	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
+		return s.evalFn(ctx, spec, er.Seed, s.opts(profile, rec))
 	})
 }
 
@@ -150,8 +151,8 @@ func (s *Server) handleGreen500(w http.ResponseWriter, req *http.Request) {
 	}
 	key := "green500|" + core.CanonicalHash(spec, er.Seed,
 		core.HashOpts{Method: "green500", FaultProfile: er.FaultProfile})
-	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context) (any, error) {
-		return s.g500Fn(ctx, spec, er.Seed, s.opts(profile))
+	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
+		return s.g500Fn(ctx, spec, er.Seed, s.opts(profile, rec))
 	})
 }
 
@@ -180,8 +181,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, req *http.Request) {
 			core.HashOpts{Method: "compare", FaultProfile: cr.FaultProfile})
 	}
 	key := "compare|" + strings.Join(hashes, "+")
-	s.serveComputed(w, req, key, cr.TimeoutMS, func(ctx context.Context) (any, error) {
-		return s.cmpFn(ctx, specs, cr.Seed, s.opts(profile))
+	s.serveComputed(w, req, key, cr.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
+		return s.cmpFn(ctx, specs, cr.Seed, s.opts(profile, rec))
 	})
 }
 

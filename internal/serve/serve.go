@@ -36,11 +36,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"powerbench/internal/core"
+	"powerbench/internal/flight"
 	"powerbench/internal/obs"
 	"powerbench/internal/sched"
 	"powerbench/internal/server"
@@ -63,6 +66,18 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (0 selects 1 MiB).
 	MaxBodyBytes int64
+	// FlightDir, when set, persists each computation's flight records as
+	// <id>.jsonl under the directory (created if missing) in addition to
+	// the in-memory store behind GET /v1/flights/{id}.
+	FlightDir string
+	// FlightEntries bounds the in-memory flight store (0 selects 256).
+	FlightEntries int
+	// EnableProfiling mounts net/http/pprof under GET /debug/pprof/.
+	EnableProfiling bool
+	// SLO parameterizes the burn-rate tracker over the /v1 API routes; the
+	// zero value selects the obs defaults (99.9% availability, 99% of
+	// requests under 500 ms, 5m/1h windows).
+	SLO obs.SLOConfig
 }
 
 func (c Config) maxInFlight() int {
@@ -93,6 +108,13 @@ func (c Config) maxBodyBytes() int64 {
 	return 1 << 20
 }
 
+func (c Config) flightEntries() int {
+	if c.FlightEntries > 0 {
+		return c.FlightEntries
+	}
+	return 256
+}
+
 // Server is the powerbenchd service state.
 type Server struct {
 	cfg     Config
@@ -100,6 +122,10 @@ type Server struct {
 	pool    *sched.Pool
 	cache   *resultCache
 	flights *flightGroup
+	// flightRecs stores flushed flight-record JSONL by flight id.
+	flightRecs *resultCache
+	// slo tracks request outcomes for the burn-rate gauges (nil without Obs).
+	slo *obs.SLOTracker
 	// admit is the admission semaphore: send acquires a compute slot,
 	// receive releases it.
 	admit chan struct{}
@@ -127,6 +153,7 @@ func New(cfg Config) *Server {
 		pool:       sched.New(cfg.Jobs, cfg.Obs),
 		cache:      newResultCache(cfg.cacheEntries()),
 		flights:    newFlightGroup(),
+		flightRecs: newResultCache(cfg.flightEntries()),
 		admit:      make(chan struct{}, cfg.maxInFlight()),
 		baseCtx:    ctx,
 		cancelBase: cancel,
@@ -134,31 +161,91 @@ func New(cfg Config) *Server {
 		g500Fn:     core.Green500Ctx,
 		cmpFn:      core.CompareCtx,
 	}
+	if cfg.Obs != nil {
+		s.slo = obs.NewSLOTracker(cfg.Obs.Metrics, cfg.SLO)
+	}
+	if cfg.FlightDir != "" {
+		if err := os.MkdirAll(cfg.FlightDir, 0o755); err != nil {
+			s.obs.Infof("flight dir %s: %v (persistence disabled for this run)", cfg.FlightDir, err)
+		}
+	}
 	s.obs.Gauge("serve_admission_capacity").Set(float64(cfg.maxInFlight()))
+	// Pre-touch the service counters so the very first scrape already
+	// exposes the full SLO-relevant series at zero — burn-rate and error
+	// dashboards need absent-vs-zero to be unambiguous.
+	for _, name := range []string{
+		"serve_cache_hits_total", "serve_cache_misses_total",
+		"serve_dedup_joined_total", "serve_admission_rejected_total",
+		"serve_flight_abandoned_total", "serve_deadline_expired_total",
+		"serve_client_gone_total", "serve_compute_total",
+		"serve_compute_errors_total", "serve_cache_evictions_total",
+		"serve_flights_recorded_total",
+	} {
+		s.obs.Counter(name)
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/evaluate", "/v1/evaluate", s.handleEvaluate)
 	s.route("POST /v1/green500", "/v1/green500", s.handleGreen500)
 	s.route("POST /v1/compare", "/v1/compare", s.handleCompare)
 	s.route("GET /v1/servers", "/v1/servers", s.handleServers)
+	s.route("GET /v1/flights/{id}", "/v1/flights", s.handleFlight)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.HTTPMetrics(s.obs, "/metrics", s.metricsHandler()))
+	if cfg.EnableProfiling {
+		// The index route is a prefix match, so the per-profile pages
+		// (heap, goroutine, block, ...) resolve through it.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // route registers a handler wrapped in the obs HTTP middleware under a
-// fixed route label.
+// fixed route label, with SLO outcome tracking on the API routes.
 func (s *Server) route(pattern, label string, h http.HandlerFunc) {
-	s.mux.Handle(pattern, obs.HTTPMetrics(s.obs, label, h))
+	inner := obs.HTTPMetrics(s.obs, label, h)
+	if s.slo == nil {
+		s.mux.Handle(pattern, inner)
+		return
+	}
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		inner.ServeHTTP(sw, req)
+		s.slo.Observe(sw.status, time.Since(start))
+	}))
+}
+
+// statusWriter captures the first written status code for SLO accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // metricsHandler serves the live registry; a nil Obs still answers with an
-// empty exposition so probes don't 404.
+// empty exposition so probes don't 404. Burn-rate gauges are recomputed on
+// every scrape, so idle periods decay them toward zero.
 func (s *Server) metricsHandler() http.Handler {
 	var reg *obs.Registry
 	if s.obs != nil {
 		reg = s.obs.Metrics
 	}
-	return obs.PrometheusHandler(reg)
+	inner := obs.PrometheusHandler(reg)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.slo.Publish()
+		inner.ServeHTTP(w, req)
+	})
 }
 
 // Handler returns the service's HTTP handler.
@@ -170,6 +257,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // must already have stopped accepting new connections (http.Server's
 // Shutdown does).
 func (s *Server) Shutdown(ctx context.Context) error {
+	start := time.Now()
+	defer func() {
+		s.obs.Gauge("serve_drain_seconds").Set(time.Since(start).Seconds())
+	}()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -201,10 +292,17 @@ const cacheHeader = "X-Powerbench-Cache"
 // retryAfterSec is the client backoff hint on 429 responses.
 const retryAfterSec = "1"
 
+// computeFn runs one pipeline computation, appending its flight records to
+// rec (stored under the request's flight id once the computation settles).
+type computeFn func(ctx context.Context, rec *flight.Recorder) (any, error)
+
 // serveComputed answers one compute request: serve from cache, else join
 // or begin the key's flight under admission control, then wait for the
 // flight or the request deadline, whichever first.
-func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key string, timeoutMS int, fn func(ctx context.Context) (any, error)) {
+func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key string, timeoutMS int, fn computeFn) {
+	// The flight id is a pure function of the key, so every response path
+	// (hit, miss, dedup) can advertise where the flight records live.
+	w.Header().Set(flightHeader, flightID(key))
 	if body, ok := s.cache.Get(key); ok {
 		s.obs.Counter("serve_cache_hits_total").Inc()
 		writeBody(w, http.StatusOK, "hit", body)
@@ -252,7 +350,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key str
 // admission control) if none is live. It returns a nil flight when
 // admission is saturated; how reports "dedup" for a join and "miss" for a
 // fresh flight.
-func (s *Server) joinOrBegin(key string, fn func(ctx context.Context) (any, error)) (f *flight, how string) {
+func (s *Server) joinOrBegin(key string, fn computeFn) (f *serveFlight, how string) {
 	if f := s.flights.join(key); f != nil {
 		s.obs.Counter("serve_dedup_joined_total").Inc()
 		return f, "dedup"
@@ -278,8 +376,9 @@ func (s *Server) joinOrBegin(key string, fn func(ctx context.Context) (any, erro
 }
 
 // runFlight executes the computation, publishes the marshaled response,
-// fills the cache on success, and releases the admission slot.
-func (s *Server) runFlight(ctx context.Context, f *flight, fn func(ctx context.Context) (any, error)) {
+// fills the cache and flight store on success, and releases the admission
+// slot.
+func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn) {
 	defer s.wg.Done()
 	defer func() { <-s.admit }()
 	inflight := s.obs.Gauge("serve_compute_inflight")
@@ -287,8 +386,9 @@ func (s *Server) runFlight(ctx context.Context, f *flight, fn func(ctx context.C
 	defer inflight.Add(-1)
 	s.obs.Counter("serve_compute_total").Inc()
 
+	rec := flight.NewRecorder(0)
 	start := time.Now()
-	v, err := fn(ctx)
+	v, err := fn(ctx, rec)
 	s.obs.Histogram("serve_compute_seconds", nil).Observe(time.Since(start).Seconds())
 
 	status := http.StatusOK
@@ -309,6 +409,7 @@ func (s *Server) runFlight(ctx context.Context, f *flight, fn func(ctx context.C
 		evicted := s.cache.Put(f.key, body)
 		s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
 		s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
+		s.storeFlight(flightID(f.key), rec)
 	}
 	s.flights.settle(f, status, body)
 }

@@ -13,11 +13,11 @@ import (
 // pending simulation runs.
 type flightGroup struct {
 	mu      sync.Mutex
-	flights map[string]*flight
+	flights map[string]*serveFlight
 }
 
-// flight is one shared computation.
-type flight struct {
+// serveFlight is one shared computation.
+type serveFlight struct {
 	key string
 	// done closes when the flight settles; body/status are valid after.
 	done   chan struct{}
@@ -32,12 +32,12 @@ type flight struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{flights: make(map[string]*flight)}
+	return &flightGroup{flights: make(map[string]*serveFlight)}
 }
 
 // join returns the live flight for key with its waiter count raised, or
 // nil when none exists and the caller should begin one.
-func (g *flightGroup) join(key string) *flight {
+func (g *flightGroup) join(key string) *serveFlight {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	f := g.flights[key]
@@ -51,14 +51,14 @@ func (g *flightGroup) join(key string) *flight {
 // have verified (under no lock — begin re-checks) that no flight exists;
 // if one appeared in between, begin joins it instead and reports created
 // as false, so the caller releases any admission slot it acquired.
-func (g *flightGroup) begin(key string, cancel context.CancelFunc) (f *flight, created bool) {
+func (g *flightGroup) begin(key string, cancel context.CancelFunc) (f *serveFlight, created bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if f := g.flights[key]; f != nil {
 		f.waiters++
 		return f, false
 	}
-	f = &flight{key: key, done: make(chan struct{}), cancel: cancel, waiters: 1}
+	f = &serveFlight{key: key, done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.flights[key] = f
 	return f, true
 }
@@ -68,7 +68,7 @@ func (g *flightGroup) begin(key string, cancel context.CancelFunc) (f *flight, c
 // pending job dispatch) and it is detached from the group so a later
 // identical request starts fresh instead of inheriting the doomed run.
 // leave reports whether the flight was abandoned.
-func (g *flightGroup) leave(f *flight) bool {
+func (g *flightGroup) leave(f *serveFlight) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	f.waiters--
@@ -84,7 +84,7 @@ func (g *flightGroup) leave(f *flight) bool {
 
 // settle publishes the flight's result, detaches it from the group and
 // wakes every waiter. Exactly one settle per flight.
-func (g *flightGroup) settle(f *flight, status int, body []byte) {
+func (g *flightGroup) settle(f *serveFlight, status int, body []byte) {
 	g.mu.Lock()
 	f.status = status
 	f.body = body
