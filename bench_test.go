@@ -6,6 +6,7 @@
 package powerbench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"powerbench/internal/sim"
 	"powerbench/internal/ssj"
 	"powerbench/internal/stats"
+	"powerbench/internal/tracectx"
 	"powerbench/internal/workload"
 )
 
@@ -182,19 +184,21 @@ func BenchmarkOrderings(b *testing.B) {
 // BenchmarkEvaluateParallel measures the scheduler's speedup on the
 // three-server comparison (servers × states nested fan-out, the
 // powerbench -compare workload). CI gates on jobs=4 finishing in at most
-// 0.6× the sequential wall time and on the flight-recorded run costing at
-// most 3% over jobs=4 (BENCH_sched.json); determinism of the parallel
-// result is asserted by TestCompareDeterministicAcrossJobs, so this
-// benchmark only checks shape.
+// 0.6× the sequential wall time and on the flight-recorded and traced runs
+// each costing at most 3% over jobs=4 (BENCH_sched.json); determinism of
+// the parallel result is asserted by TestCompareDeterministicAcrossJobs,
+// so this benchmark only checks shape.
 func BenchmarkEvaluateParallel(b *testing.B) {
 	for _, bc := range []struct {
 		name   string
 		pool   *sched.Pool
 		flight bool
+		trace  bool
 	}{
 		{name: "sequential", pool: sched.Sequential()},
 		{name: "jobs4", pool: sched.New(4, nil)},
 		{name: "jobs4-flight", pool: sched.New(4, nil), flight: true},
+		{name: "jobs4-trace", pool: sched.New(4, nil), trace: true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			var score float64
@@ -203,7 +207,13 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 				if bc.flight {
 					opts.Flight = flight.NewRecorder(0)
 				}
-				c, err := core.CompareOpts(server.All(), 42, opts)
+				ctx := context.Background()
+				var tr *tracectx.Trace
+				if bc.trace {
+					tr = tracectx.New(tracectx.DeriveID("bench-compare"), "request", "bench")
+					ctx = tracectx.ContextWith(ctx, tr.Root())
+				}
+				c, err := core.CompareCtx(ctx, server.All(), 42, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -212,6 +222,12 @@ func BenchmarkEvaluateParallel(b *testing.B) {
 				}
 				if bc.flight && opts.Flight.Len() != 2*len(c.Servers) {
 					b.Fatal("flight recorder missed records")
+				}
+				if bc.trace {
+					tr.Root().End()
+					if doc := tr.Export(); len(doc.Spans) < 10 {
+						b.Fatalf("trace captured only %d spans", len(doc.Spans))
+					}
 				}
 				score = c.Ours[0]
 			}

@@ -9,11 +9,13 @@
 //
 //	loadgen -url http://127.0.0.1:8080 [-endpoint /v1/evaluate]
 //	        [-server name] [-seed n] [-body json] [-n 1000] [-c 8]
-//	        [-vary-seeds] [-no-warm] [-timeout d]
+//	        [-vary-seeds] [-no-warm] [-timeout d] [-slow n]
 //
 // By default one untimed warm-up request populates the daemon's cache so
 // the timed run measures steady-state (cache-hit) serving; -no-warm and
-// -vary-seeds measure the compute path instead.
+// -vary-seeds measure the compute path instead. The summary ends with the
+// trace ids of the -slow slowest responses plus every non-200, ready to
+// paste into `powerbench trace show <url>/v1/traces/<id>`.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 type result struct {
 	status  int // 0 = transport error
 	cache   string
+	trace   string // X-Powerbench-Trace response header
 	latency time.Duration
 }
 
@@ -59,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	varySeeds := fs.Bool("vary-seeds", false, "give every request a distinct seed (defeats cache and dedup)")
 	noWarm := fs.Bool("no-warm", false, "skip the untimed cache warm-up request")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+	slow := fs.Int("slow", 3, "list the trace ids of the N slowest responses in the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,7 +101,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		return result{status: resp.StatusCode, cache: resp.Header.Get("X-Powerbench-Cache"), latency: lat}
+		return result{
+			status:  resp.StatusCode,
+			cache:   resp.Header.Get("X-Powerbench-Cache"),
+			trace:   resp.Header.Get("X-Powerbench-Trace"),
+			latency: lat,
+		}
 	}
 
 	if !*noWarm && !*varySeeds {
@@ -183,10 +192,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "cache: hit %d, miss %d, dedup %d\n",
 			caches["hit"], caches["miss"], caches["dedup"])
 	}
+	writeTraceDigest(stdout, results, *slow)
 	if transportErrs > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeTraceDigest lists the trace ids worth investigating after a run: the
+// slowest N responses and every non-200 — the tail-sampling policy always
+// retains errors and the slow tail, so these ids are fetchable from
+// /v1/traces/{id} (see `powerbench trace show`).
+func writeTraceDigest(stdout io.Writer, results []result, slow int) {
+	traced := make([]result, 0, len(results))
+	for _, r := range results {
+		if r.trace != "" {
+			traced = append(traced, r)
+		}
+	}
+	if len(traced) == 0 {
+		return
+	}
+	sort.SliceStable(traced, func(i, j int) bool { return traced[i].latency > traced[j].latency })
+	if slow > len(traced) {
+		slow = len(traced)
+	}
+	listed := map[string]bool{}
+	for _, r := range traced[:slow] {
+		if listed[r.trace] {
+			continue
+		}
+		listed[r.trace] = true
+		fmt.Fprintf(stdout, "slow: %s %.2fms status %d\n",
+			r.trace, float64(r.latency.Microseconds())/1000, r.status)
+	}
+	for _, r := range traced {
+		if r.status == http.StatusOK || listed[r.trace] {
+			continue
+		}
+		listed[r.trace] = true
+		fmt.Fprintf(stdout, "error: %s %.2fms status %d\n",
+			r.trace, float64(r.latency.Microseconds())/1000, r.status)
+	}
 }
 
 func main() {

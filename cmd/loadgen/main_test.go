@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // The generator must drive the configured request count at the configured
@@ -97,6 +98,46 @@ func TestLoadgenDeadTarget(t *testing.T) {
 	if !strings.Contains(stdout.String(), "transport-error") {
 		t.Errorf("report missing transport errors:\n%s", stdout.String())
 	}
+}
+
+// The summary lists trace ids for the N slowest responses and every
+// non-200, deduplicated, so a failed run points straight at /v1/traces.
+func TestLoadgenTraceDigest(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		w.Header().Set("X-Powerbench-Trace", strings.Repeat("a", 30)+twoDigits(int(i%4)))
+		if i%4 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"busy"}`))
+			return
+		}
+		// Successful responses are strictly slower than the 429s so the
+		// slow list never swallows the error id.
+		time.Sleep(10 * time.Millisecond)
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-url", ts.URL, "-n", "20", "-c", "2", "-no-warm", "-slow", "2"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	if got := strings.Count(out, "slow: "); got != 2 {
+		t.Errorf("%d slow trace lines, want 2:\n%s", got, out)
+	}
+	if !strings.Contains(out, "error: "+strings.Repeat("a", 30)+"00") {
+		t.Errorf("429 trace id not listed:\n%s", out)
+	}
+	if got := strings.Count(out, "error: "); got != 1 {
+		t.Errorf("%d error trace lines, want 1 (deduplicated):\n%s", got, out)
+	}
+}
+
+func twoDigits(i int) string {
+	return string([]byte{byte('0' + i/10), byte('0' + i%10)})
 }
 
 func TestLoadgenBadFlags(t *testing.T) {

@@ -9,6 +9,7 @@
 //	           [-flight-out file] [-cpuprofile file] [-memprofile file]
 //	           [-v] [-q] [-metrics-out file] [-trace-out file]
 //	powerbench flight show|diff|verify ...
+//	powerbench trace show|top|export <file|url>
 //
 // -jobs sets how many simulation runs execute concurrently (default: one
 // per CPU; 1 = sequential). Output is byte-identical at every job count —
@@ -29,6 +30,12 @@
 // records, `diff` reports per-phase energy deltas between two runs, and
 // `verify` is the CI energy-conservation gate. -cpuprofile/-memprofile
 // write pprof profiles of the whole invocation for `go tool pprof`.
+//
+// The `powerbench trace` subcommand inspects request traces retained by the
+// powerbenchd daemon (DESIGN.md §11): `show` renders the span tree, `top`
+// prints the critical path and per-span time share, and `export` emits
+// Chrome trace_event JSON. The operand is a saved trace document or a
+// daemon URL (http://host:port/v1/traces/<id>).
 package main
 
 import (
@@ -174,6 +181,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "flight" {
 		os.Exit(flightCmd(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceCmd(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,90 @@
+package main
+
+// powerbench trace — inspect request traces (DESIGN.md §11).
+//
+//	powerbench trace show <file|url>    render the span tree with attributes
+//	powerbench trace top <file|url>     critical path and per-span time share
+//	powerbench trace export <file|url>  Chrome trace_event JSON (chrome://tracing)
+//
+// The operand is either a trace document on disk or a daemon URL
+// (http://host:port/v1/traces/<id>); the document is the JSON served by
+// GET /v1/traces/{id}.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"powerbench/internal/tracectx"
+)
+
+const traceUsage = `usage: powerbench trace <command> <file|url>
+
+  show <file|url>    render the span tree (durations, attributes, retention reason)
+  top <file|url>     critical path and per-span share of the trace duration
+  export <file|url>  write Chrome trace_event JSON to stdout (chrome://tracing)`
+
+func traceCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, traceUsage)
+		return 2
+	}
+	var render func(io.Writer, *tracectx.Doc) error
+	switch args[0] {
+	case "show":
+		render = tracectx.WriteTree
+	case "top":
+		render = tracectx.WriteTop
+	case "export":
+		render = tracectx.WriteChrome
+	default:
+		fmt.Fprintf(stderr, "powerbench trace: unknown command %q\n%s\n", args[0], traceUsage)
+		return 2
+	}
+	doc, err := loadTraceDoc(args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	werr := render(stdout, doc)
+	if werr != nil {
+		fmt.Fprintln(stderr, werr)
+		return 1
+	}
+	return 0
+}
+
+// loadTraceDoc reads a trace document from a local file or, when the
+// operand looks like a URL, from a running daemon's trace endpoint.
+func loadTraceDoc(src string) (*tracectx.Doc, error) {
+	var b []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s: %s", src, resp.Status, strings.TrimSpace(string(b)))
+		}
+	} else {
+		var err error
+		b, err = os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	doc, err := tracectx.ParseDoc(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", src, err)
+	}
+	return doc, nil
+}

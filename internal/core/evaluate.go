@@ -22,6 +22,7 @@ import (
 	"powerbench/internal/sim"
 	"powerbench/internal/ssj"
 	"powerbench/internal/stats"
+	"powerbench/internal/tracectx"
 	"powerbench/internal/workload"
 )
 
@@ -176,6 +177,11 @@ func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	o, p := opts.Obs, opts.Pool
 	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
+	// The request-trace span carries only identity attrs (never the worker
+	// count): its subtree must be byte-identical at any -jobs value.
+	tr := tracectx.FromContext(ctx).Child("evaluate "+spec.Name).Attr("server", spec.Name).Attr("seed", seed)
+	defer tr.End()
+	ctx = tracectx.ContextWith(ctx, tr)
 	o.Infof("evaluating %s (seed %g, %d jobs)", spec.Name, seed, p.Workers())
 
 	models, err := PlanStates(spec)
@@ -194,8 +200,10 @@ func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	var phases []flight.Phase
 	var runEnergy flight.Energy
 	analysis := sp.Child("analysis")
+	tanalysis := tr.Child("analysis")
 	for _, r := range results {
 		state := analysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
+		tstate := tanalysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
 		window := meter.Window(merged, r.Start, r.End)
 		dropped := trimmedCount(len(window))
 		o.Counter("core_window_samples_total").Add(int64(len(window)))
@@ -220,10 +228,12 @@ func evaluateCleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 			phases = append(phases, ph)
 		}
 		state.Arg("watts", watts).Arg("samples", len(window)).Arg("trim_dropped", dropped).End()
+		tstate.Attr("watts", watts).Attr("samples", len(window)).Attr("trim_dropped", dropped).End()
 		o.Debugf("state %s: %.1f W over %d samples (%d trimmed)",
 			r.Model.Name, watts, len(window), dropped)
 	}
 	analysis.End()
+	tanalysis.End()
 	n := float64(len(ev.Rows))
 	ev.AvgGFLOPS = sumG / n
 	ev.AvgWatts = sumW / n
@@ -290,6 +300,9 @@ func green500CleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	o, p := opts.Obs, opts.Pool
 	sp := o.Span("green500 "+spec.Name, "evaluate")
 	defer sp.End()
+	tr := tracectx.FromContext(ctx).Child("green500 "+spec.Name).Attr("server", spec.Name).Attr("seed", seed)
+	defer tr.End()
+	ctx = tracectx.ContextWith(ctx, tr)
 	m, err := hpl.NewModel(spec, hpl.Options{Procs: spec.Cores, MemFrac: 0.95})
 	if err != nil {
 		return nil, err
@@ -297,9 +310,9 @@ func green500CleanCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	engine := sim.New(spec, seed)
 	engine.Obs = o
 	var run sim.RunResult
-	err = p.RunCtx(ctx, "green500", 1, func(int) error {
+	err = p.RunTracedCtx(ctx, "green500", 1, func(jctx context.Context, _ int) error {
 		var err error
-		run, err = engine.Run(m, 0)
+		run, err = engine.RunCtx(jctx, m, 0)
 		return err
 	})
 	if err != nil {
@@ -371,20 +384,23 @@ func compareCleanCtx(ctx context.Context, specs []*server.Spec, seed float64, op
 	o, p := opts.Obs, opts.Pool
 	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
 	defer cmpSpan.End()
+	tr := tracectx.FromContext(ctx).Child("compare").Attr("servers", len(specs)).Attr("seed", seed)
+	defer tr.End()
+	ctx = tracectx.ContextWith(ctx, tr)
 	type leg struct {
 		ev  *Evaluation
 		g   *Green500Result
 		ssj float64
 	}
 	legs := make([]leg, len(specs))
-	err := p.RunCtx(ctx, "compare", len(specs), func(i int) error {
+	err := p.RunTracedCtx(ctx, "compare", len(specs), func(jctx context.Context, i int) error {
 		spec := specs[i]
 		o.Infof("comparing methods on %s", spec.Name)
-		ev, err := evaluateCleanCtx(ctx, spec, seed+float64(i), opts)
+		ev, err := evaluateCleanCtx(jctx, spec, seed+float64(i), opts)
 		if err != nil {
 			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := green500CleanCtx(ctx, spec, seed+float64(i)+0.5, opts)
+		g, err := green500CleanCtx(jctx, spec, seed+float64(i)+0.5, opts)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 	"powerbench/internal/sim"
 	"powerbench/internal/ssj"
 	"powerbench/internal/stats"
+	"powerbench/internal/tracectx"
 	"powerbench/internal/workload"
 )
 
@@ -149,6 +150,10 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	o, p := opts.Obs, opts.Pool
 	sp := o.Span("evaluate "+spec.Name, "evaluate").Arg("seed", seed).Arg("jobs", p.Workers())
 	defer sp.End()
+	tr := tracectx.FromContext(ctx).Child("evaluate "+spec.Name).
+		Attr("server", spec.Name).Attr("seed", seed).Attr("fault_profile", opts.Fault.Name)
+	defer tr.End()
+	ctx = tracectx.ContextWith(ctx, tr)
 	o.Infof("evaluating %s (seed %g, %d jobs, fault profile %s)", spec.Name, seed, p.Workers(), opts.Fault.Name)
 
 	models, err := PlanStates(spec)
@@ -178,15 +183,23 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	var phases []flight.Phase
 	var runEnergy flight.Energy
 	analysis := sp.Child("analysis")
+	tanalysis := tr.Child("analysis")
 	for i, r := range results {
 		if reports[i].Err != nil {
 			continue
 		}
 		state := analysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
+		tstate := tanalysis.Child("state "+r.Model.Name).SetVirtual(r.Start, r.End)
 		window := meter.Window(merged, r.Start, r.End)
 		repaired, rep := meter.Repair(window, meter.RepairOpts{
 			Start: r.Start, End: r.End, IntervalSec: engine.Meter.IntervalSec,
 		})
+		// The repair span exists for every state of a hardened run, even with
+		// zero actions: the trace shows the pass happened.
+		tstate.Child("repair").
+			Attr("invalid", rep.Invalid).Attr("duplicates", rep.Duplicates).
+			Attr("spikes_clipped", rep.SpikesClipped).Attr("gap_filled", rep.GapSamplesFilled).
+			End()
 		ev.Quality.addRepair(rep)
 		o.Counter("core_window_samples_total").Add(int64(len(repaired)))
 		o.Counter("core_repair_actions_total").Add(int64(rep.Total()))
@@ -213,8 +226,10 @@ func evaluateFaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 			phases = append(phases, ph)
 		}
 		state.Arg("watts", watts).Arg("repairs", rep.Total()).End()
+		tstate.Attr("watts", watts).Attr("repairs", rep.Total()).End()
 	}
 	analysis.End()
+	tanalysis.End()
 	if len(ev.Rows) == 0 {
 		return nil, fmt.Errorf("core: evaluating %s: all %d plan states failed", spec.Name, len(models))
 	}
@@ -258,6 +273,10 @@ func green500FaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	o, p := opts.Obs, opts.Pool
 	sp := o.Span("green500 "+spec.Name, "evaluate")
 	defer sp.End()
+	tr := tracectx.FromContext(ctx).Child("green500 "+spec.Name).
+		Attr("server", spec.Name).Attr("seed", seed).Attr("fault_profile", opts.Fault.Name)
+	defer tr.End()
+	ctx = tracectx.ContextWith(ctx, tr)
 	m, err := hplPeak(spec)
 	if err != nil {
 		return nil, err
@@ -268,12 +287,12 @@ func green500FaultCtx(ctx context.Context, spec *server.Spec, seed float64, opts
 	engine.Fault = fault.New(opts.Fault, sched.DeriveSeed(seed, spec.Name, "g500fault"), runLedger)
 
 	var run sim.RunResult
-	reports := p.RunRetryAllCtx(ctx, "green500", 1, opts.retry(), func(_, attempt int) error {
+	reports := p.RunRetryAllTracedCtx(ctx, "green500", 1, opts.retry(), func(jctx context.Context, _, attempt int) error {
 		eng := engine.Fork("green500", strconv.Itoa(attempt))
 		if eng.Fault.RunFails(attempt) {
 			return fault.ErrTransient
 		}
-		r, err := eng.Run(m, 0)
+		r, err := eng.RunCtx(jctx, m, 0)
 		if err != nil {
 			return err
 		}
@@ -327,20 +346,24 @@ func compareFaultCtx(ctx context.Context, specs []*server.Spec, seed float64, op
 	o, p := opts.Obs, opts.Pool
 	cmpSpan := o.Span("compare", "evaluate").Arg("servers", len(specs)).Arg("jobs", p.Workers())
 	defer cmpSpan.End()
+	tr := tracectx.FromContext(ctx).Child("compare").
+		Attr("servers", len(specs)).Attr("seed", seed).Attr("fault_profile", opts.Fault.Name)
+	defer tr.End()
+	ctx = tracectx.ContextWith(ctx, tr)
 	type leg struct {
 		ev  *Evaluation
 		g   *Green500Result
 		ssj float64
 	}
 	legs := make([]leg, len(specs))
-	err := p.RunCtx(ctx, "compare", len(specs), func(i int) error {
+	err := p.RunTracedCtx(ctx, "compare", len(specs), func(jctx context.Context, i int) error {
 		spec := specs[i]
 		o.Infof("comparing methods on %s", spec.Name)
-		ev, err := EvaluateCtx(ctx, spec, seed+float64(i), opts)
+		ev, err := EvaluateCtx(jctx, spec, seed+float64(i), opts)
 		if err != nil {
 			return fmt.Errorf("core: evaluating %s: %w", spec.Name, err)
 		}
-		g, err := Green500Ctx(ctx, spec, seed+float64(i)+0.5, opts)
+		g, err := Green500Ctx(jctx, spec, seed+float64(i)+0.5, opts)
 		if err != nil {
 			return err
 		}

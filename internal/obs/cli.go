@@ -36,8 +36,10 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 func (c *CLI) NewObs(stdout, stderr io.Writer) *Obs {
 	log := NewLogger(stdout, stderr, c.Verbosity)
 	log.SetQuiet(c.Quiet)
+	reg := NewRegistry()
+	PublishBuildInfo(reg)
 	return &Obs{
-		Metrics: NewRegistry(),
+		Metrics: reg,
 		Tracer:  NewTracer(),
 		Log:     log,
 	}

@@ -43,29 +43,54 @@ func (r *statusRecorder) WriteHeader(code int) {
 // DefaultHTTPBuckets bound request latencies from 100µs to 10s (seconds).
 var DefaultHTTPBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10}
 
+// statusClass buckets a status code into its hundreds class ("2xx"). Codes
+// outside 100–599 — possible only from a buggy handler — fold into "other"
+// so the label set stays closed.
+func statusClass(status int) string {
+	if status < 100 || status > 599 {
+		return "other"
+	}
+	return strconv.Itoa(status/100) + "xx"
+}
+
 // HTTPMetrics instruments next with the service-level metrics of the route:
 //
-//	http_requests_total{route,code}   counter
-//	http_request_seconds{route}       histogram (DefaultHTTPBuckets)
-//	http_inflight_requests            gauge
+//	http_requests_total{route,code,class}  counter (class = "2xx", "5xx", …)
+//	http_request_seconds{route}            histogram (DefaultHTTPBuckets)
+//	http_inflight_requests                 gauge
+//	http_panics_total{route}               counter (handler panics)
 //
 // route must be a fixed route pattern ("/v1/evaluate"), never a raw request
-// path, so the label cardinality stays bounded. A nil Obs passes requests
-// through uninstrumented.
+// path, so the label cardinality stays bounded. A panicking handler is
+// recorded as a 500 (and counted in http_panics_total) before the panic is
+// re-raised for the server's own recovery to report — the metrics must not
+// silently swallow a crash, but they must not miss it either. A nil Obs
+// passes requests through uninstrumented.
 func HTTPMetrics(o *Obs, route string, next http.Handler) http.Handler {
 	if o == nil || o.Metrics == nil {
 		return next
 	}
 	inflight := o.Gauge("http_inflight_requests")
 	latency := o.Histogram("http_request_seconds", DefaultHTTPBuckets, L("route", route))
+	record := func(status int, start time.Time) {
+		latency.Observe(time.Since(start).Seconds())
+		o.Counter("http_requests_total",
+			L("route", route), L("code", strconv.Itoa(status)),
+			L("class", statusClass(status))).Inc()
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		start := time.Now()
 		inflight.Add(1)
 		defer inflight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if r := recover(); r != nil {
+				o.Counter("http_panics_total", L("route", route)).Inc()
+				record(http.StatusInternalServerError, start)
+				panic(r)
+			}
+		}()
 		next.ServeHTTP(rec, req)
-		latency.Observe(time.Since(start).Seconds())
-		o.Counter("http_requests_total",
-			L("route", route), L("code", strconv.Itoa(rec.status))).Inc()
+		record(rec.status, start)
 	})
 }

@@ -129,10 +129,10 @@ func TestHTTPMetricsMiddleware(t *testing.T) {
 		t.Fatalf("status %d, want 500", rec.Code)
 	}
 
-	if got := o.Counter("http_requests_total", L("route", "/test"), L("code", "200")).Value(); got != 3 {
+	if got := o.Counter("http_requests_total", L("route", "/test"), L("code", "200"), L("class", "2xx")).Value(); got != 3 {
 		t.Errorf("code=200 count = %d, want 3", got)
 	}
-	if got := o.Counter("http_requests_total", L("route", "/test"), L("code", "500")).Value(); got != 1 {
+	if got := o.Counter("http_requests_total", L("route", "/test"), L("code", "500"), L("class", "5xx")).Value(); got != 1 {
 		t.Errorf("code=500 count = %d, want 1", got)
 	}
 	if got := o.Gauge("http_inflight_requests").Value(); got != 0 {
@@ -143,9 +143,125 @@ func TestHTTPMetricsMiddleware(t *testing.T) {
 	}
 	// The middleware's metrics must render through the scrape handler.
 	body := scrape(t, PrometheusHandler(o.Metrics))
-	if !strings.Contains(body, `http_requests_total{code="200",route="/test"} 3`) {
+	if !strings.Contains(body, `http_requests_total{class="2xx",code="200",route="/test"} 3`) {
 		t.Errorf("exposition missing middleware counter:\n%s", body)
 	}
+}
+
+// Every status class 1xx–5xx lands in its own class label; codes outside
+// the valid range fold into "other".
+func TestHTTPMetricsStatusClasses(t *testing.T) {
+	o := New()
+	var status int
+	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(status)
+	})
+	handler = HTTPMetrics(o, "/cls", handler)
+
+	cases := []struct {
+		status int
+		class  string
+	}{
+		{100, "1xx"}, {101, "1xx"},
+		{200, "2xx"}, {204, "2xx"}, {299, "2xx"},
+		{301, "3xx"},
+		{400, "4xx"}, {404, "4xx"}, {429, "4xx"}, {499, "4xx"},
+		{500, "5xx"}, {503, "5xx"}, {599, "5xx"},
+	}
+	want := map[string]int64{}
+	for _, tc := range cases {
+		status = tc.status
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/cls", nil))
+		if rec.Code != tc.status {
+			t.Fatalf("status %d passed through as %d", tc.status, rec.Code)
+		}
+		want[tc.class]++
+	}
+	for class, n := range want {
+		var got int64
+		for _, tc := range cases {
+			if tc.class != class {
+				continue
+			}
+			got += o.Counter("http_requests_total", L("route", "/cls"),
+				L("code", strconv.Itoa(tc.status)), L("class", class)).Value()
+		}
+		if got != n {
+			t.Errorf("class %s total = %d, want %d", class, got, n)
+		}
+	}
+
+	// Codes outside 100–599 can't round-trip through an http recorder
+	// (net/http rejects them), so the fold-to-other rule is unit-tested.
+	for _, bad := range []int{0, 99, 600, 1000, -7} {
+		if got := statusClass(bad); got != "other" {
+			t.Errorf("statusClass(%d) = %q, want \"other\"", bad, got)
+		}
+	}
+}
+
+// A panicking handler is counted as a 500 and in http_panics_total, and the
+// panic still propagates to the server's recovery layer.
+func TestHTTPMetricsPanicPath(t *testing.T) {
+	o := New()
+	handler := HTTPMetrics(o, "/boom", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic swallowed by middleware; must re-raise")
+			} else if r != "kaboom" {
+				t.Errorf("panic value rewritten: %v", r)
+			}
+		}()
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	}()
+
+	if got := o.Counter("http_panics_total", L("route", "/boom")).Value(); got != 1 {
+		t.Errorf("http_panics_total = %d, want 1", got)
+	}
+	if got := o.Counter("http_requests_total", L("route", "/boom"),
+		L("code", "500"), L("class", "5xx")).Value(); got != 1 {
+		t.Errorf("panic not recorded as a 500: count = %d, want 1", got)
+	}
+	if got := o.Gauge("http_inflight_requests").Value(); got != 0 {
+		t.Errorf("in-flight gauge = %v after panic, want 0", got)
+	}
+}
+
+// PublishBuildInfo pre-touches the build-identity gauge so it renders on
+// the very first scrape with the standard label set.
+func TestPublishBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	PublishBuildInfo(r)
+	body := scrape(t, PrometheusHandler(r))
+	if !strings.Contains(body, "powerbench_build_info{") {
+		t.Fatalf("exposition missing powerbench_build_info:\n%s", body)
+	}
+	line := ""
+	for _, l := range strings.Split(body, "\n") {
+		if strings.HasPrefix(l, "powerbench_build_info{") {
+			line = l
+		}
+	}
+	for _, label := range []string{`goarch="`, `goos="`, `go_version="go`, `version="`} {
+		if !strings.Contains(line, label) {
+			t.Errorf("build info line missing %s label: %s", label, line)
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("build info value not 1: %s", line)
+	}
+	// Idempotent: publishing twice must not duplicate or change the series.
+	PublishBuildInfo(r)
+	if got := scrape(t, PrometheusHandler(r)); strings.Count(got, "powerbench_build_info{") != 1 {
+		t.Errorf("duplicate build info series after second publish:\n%s", got)
+	}
+	PublishBuildInfo(nil) // must not panic
 }
 
 // A nil Obs must pass requests through untouched.

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// newBoundaryTracker builds a tracker with a single 60s window, 99%
+// availability and a 100ms latency threshold — small numbers that make the
+// expected burn rates exact.
+func newBoundaryTracker(t *testing.T) (*SLOTracker, *Registry) {
+	t.Helper()
+	r := NewRegistry()
+	tr := NewSLOTracker(r, SLOConfig{
+		Availability:     0.99,
+		LatencyObjective: 0.99,
+		LatencyThreshold: 100 * time.Millisecond,
+		Windows:          []time.Duration{60 * time.Second},
+	})
+	return tr, r
+}
+
+func availBurn(r *Registry, window string) float64 {
+	return r.Gauge("slo_availability_burn_rate", L("window", window)).Value()
+}
+
+// near absorbs the float error of rate/(1-objective) division.
+func near(got, want float64) bool {
+	d := got - want
+	return d < 1e-9 && d > -1e-9
+}
+
+// A window of W seconds evaluated at second `now` covers exactly the seconds
+// (now-W, now]: the observation at now-W+1 is the oldest one counted, and
+// the one at now-W has just aged out.
+func TestSLOWindowBoundaries(t *testing.T) {
+	const now = int64(1_000_000)
+	const w = int64(60)
+
+	// One error exactly on the oldest included second.
+	tr, r := newBoundaryTracker(t)
+	tr.observeAt(now-w+1, 500, 0)
+	tr.publishAt(now)
+	// 1 error / 1 total => error rate 1; budget rate 0.01 => burn 100.
+	if got := availBurn(r, "1m"); !near(got, 100) {
+		t.Errorf("error at now-W+1 (inside window): burn = %v, want 100", got)
+	}
+
+	// The same error one second older has aged out entirely.
+	tr2, r2 := newBoundaryTracker(t)
+	tr2.observeAt(now-w, 500, 0)
+	tr2.observeAt(now, 200, 0) // keep total non-zero inside the window
+	tr2.publishAt(now)
+	if got := availBurn(r2, "1m"); got != 0 {
+		t.Errorf("error at now-W (outside window): burn = %v, want 0", got)
+	}
+
+	// An observation at the current second is included.
+	tr3, r3 := newBoundaryTracker(t)
+	tr3.observeAt(now, 500, 0)
+	tr3.publishAt(now)
+	if got := availBurn(r3, "1m"); !near(got, 100) {
+		t.Errorf("error at now (inside window): burn = %v, want 100", got)
+	}
+}
+
+// Publishing with an empty window must report zero burn, not NaN, and a
+// previously non-zero gauge must decay back to zero once traffic ages out.
+func TestSLOWindowDecay(t *testing.T) {
+	const now = int64(2_000_000)
+	tr, r := newBoundaryTracker(t)
+	tr.observeAt(now, 500, 0)
+	tr.publishAt(now)
+	if got := availBurn(r, "1m"); !near(got, 100) {
+		t.Fatalf("burn = %v, want 100", got)
+	}
+	tr.publishAt(now + 61)
+	if got := availBurn(r, "1m"); got != 0 {
+		t.Errorf("burn after traffic aged out = %v, want 0", got)
+	}
+}
+
+// Slot reuse across ring wraps: an observation from exactly one ring period
+// ago shares a slot index with the current second but must not be counted.
+func TestSLOWindowRingWrap(t *testing.T) {
+	const now = int64(3_000_000)
+	tr, r := newBoundaryTracker(t)
+	tr.observeAt(now-slotCount, 500, 0) // same slot index as `now`
+	tr.observeAt(now, 200, 0)           // overwrites the stale slot
+	tr.publishAt(now)
+	if got := availBurn(r, "1m"); got != 0 {
+		t.Errorf("stale wrapped slot counted: burn = %v, want 0", got)
+	}
+}
+
+// The latency burn rate counts only observations strictly over the
+// threshold: a response at exactly the threshold is fast.
+func TestSLOLatencyThresholdBoundary(t *testing.T) {
+	const now = int64(4_000_000)
+	tr, r := newBoundaryTracker(t)
+	tr.observeAt(now, 200, 100*time.Millisecond) // exactly at threshold: fast
+	tr.observeAt(now, 200, 101*time.Millisecond) // over: slow
+	tr.publishAt(now)
+	// 1 slow / 2 total => rate 0.5; budget 0.01 => burn 50.
+	if got := r.Gauge("slo_latency_burn_rate", L("window", "1m")).Value(); !near(got, 50) {
+		t.Errorf("latency burn = %v, want 50", got)
+	}
+}

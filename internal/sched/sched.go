@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"powerbench/internal/obs"
+	"powerbench/internal/tracectx"
 )
 
 // Pool is a bounded worker pool. The zero value and the nil pool both
@@ -110,7 +111,19 @@ func (p *Pool) Run(label string, n int, job func(i int) error) error {
 // first casualty even though *which* jobs were already running when the
 // cancellation landed is scheduling-dependent.
 func (p *Pool) RunCtx(ctx context.Context, label string, n int, job func(i int) error) error {
-	reports := p.RunRetryAllCtx(ctx, label, n, Retry{}, func(i, _ int) error { return job(i) })
+	return p.RunTracedCtx(ctx, label, n, func(_ context.Context, i int) error { return job(i) })
+}
+
+// RunTracedCtx is RunCtx for jobs that participate in request tracing: each
+// job receives a context whose tracectx span is its own per-job span,
+// parented on the span ctx carried in. Span ids derive from the trace id
+// and the span's path ("<label> job <i>"), never from worker identity or
+// dispatch order, so the trace tree a fan-out produces is byte-identical
+// at any worker count — the tracing analogue of the seeding contract.
+// Without a span in ctx the job contexts carry none and tracing costs a
+// pointer check.
+func (p *Pool) RunTracedCtx(ctx context.Context, label string, n int, job func(ctx context.Context, i int) error) error {
+	reports := p.RunRetryAllTracedCtx(ctx, label, n, Retry{}, func(jctx context.Context, i, _ int) error { return job(jctx, i) })
 	for _, rep := range reports {
 		if rep.Err != nil {
 			return rep.Err
@@ -173,6 +186,20 @@ var ErrCancelled = fmt.Errorf("sched: job not dispatched")
 // executing run to completion — callers that need bounded latency should
 // size their jobs accordingly rather than expect preemption.
 func (p *Pool) RunRetryAllCtx(ctx context.Context, label string, n int, r Retry, job func(i, attempt int) error) []JobReport {
+	return p.RunRetryAllTracedCtx(ctx, label, n, r, func(_ context.Context, i, attempt int) error { return job(i, attempt) })
+}
+
+// RunRetryAllTracedCtx is RunRetryAllCtx with per-job trace propagation, as
+// in RunTracedCtx. When the retry budget allows more than one attempt, each
+// attempt additionally gets its own "attempt <n>" child span — its id is a
+// function of (trace, job path, attempt ordinal), so retried traces too are
+// identical across worker counts. Single-attempt fan-outs skip the attempt
+// layer to keep clean traces lean; the budget is known up front, so the
+// tree shape stays scheduling-independent either way. Failed attempts carry
+// the error text as an attr, and jobs a cancellation kept from dispatching
+// appear as spans with a cancelled attr (such traces belong to abandoned
+// requests and are outside the byte-identity guarantee).
+func (p *Pool) RunRetryAllTracedCtx(ctx context.Context, label string, n int, r Retry, job func(ctx context.Context, i, attempt int) error) []JobReport {
 	if n <= 0 {
 		return nil
 	}
@@ -192,6 +219,7 @@ func (p *Pool) RunRetryAllCtx(ctx context.Context, label string, n int, r Retry,
 	queue.Add(float64(n))
 
 	attempts := r.attempts()
+	parent := tracectx.FromContext(ctx)
 	reports := make([]JobReport, n)
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -210,9 +238,13 @@ func (p *Pool) RunRetryAllCtx(ctx context.Context, label string, n int, r Retry,
 				}
 				jobs++
 				queue.Add(-1)
+				// The trace span is keyed by job index, never by worker: the
+				// tree must come out identical at any worker count.
+				ts := parent.Child(fmt.Sprintf("%s job %d", label, i))
 				if cerr := ctx.Err(); cerr != nil {
 					reports[i].Err = fmt.Errorf("%w: %w", ErrCancelled, cerr)
 					o.Counter("sched_jobs_cancelled_total").Inc()
+					ts.Attr("cancelled", true).End()
 					continue
 				}
 				o.Counter("sched_jobs_total").Inc()
@@ -237,8 +269,18 @@ func (p *Pool) RunRetryAllCtx(ctx context.Context, label string, n int, r Retry,
 							time.Sleep(r.Backoff << uint(shift))
 						}
 					}
-					err = job(i, a)
+					as := ts
+					if attempts > 1 {
+						as = ts.Child(fmt.Sprintf("attempt %d", a))
+					}
+					err = job(tracectx.ContextWith(ctx, as), i, a)
 					reports[i].Attempts = a
+					if err != nil {
+						as.Attr("error", err.Error())
+					}
+					if attempts > 1 {
+						as.End()
+					}
 					if err == nil {
 						break
 					}
@@ -250,6 +292,7 @@ func (p *Pool) RunRetryAllCtx(ctx context.Context, label string, n int, r Retry,
 						o.Counter("sched_job_giveups_total").Inc()
 					}
 				}
+				ts.End()
 				js.End()
 			}
 		}(w)

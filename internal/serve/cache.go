@@ -15,6 +15,7 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
+	bytes int64
 	order *list.List // front = most recently used; values are *cacheEntry
 	items map[string]*list.Element
 }
@@ -59,12 +60,15 @@ func (c *resultCache) Put(key string, body []byte) int {
 		return 0
 	}
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
 	if c.order.Len() <= c.cap {
 		return 0
 	}
 	oldest := c.order.Back()
 	c.order.Remove(oldest)
-	delete(c.items, oldest.Value.(*cacheEntry).key)
+	e := oldest.Value.(*cacheEntry)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.body))
 	return 1
 }
 
@@ -73,4 +77,11 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Bytes returns the summed body sizes of the cached entries.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -128,7 +128,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, req *http.Request) {
 	}
 	key := "evaluate|" + core.CanonicalHash(spec, er.Seed,
 		core.HashOpts{Method: "evaluate", FaultProfile: er.FaultProfile})
-	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
+	s.serveComputed(w, req, "/v1/evaluate", key, profile.Active(), er.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
 		return s.evalFn(ctx, spec, er.Seed, s.opts(profile, rec))
 	})
 }
@@ -151,7 +151,7 @@ func (s *Server) handleGreen500(w http.ResponseWriter, req *http.Request) {
 	}
 	key := "green500|" + core.CanonicalHash(spec, er.Seed,
 		core.HashOpts{Method: "green500", FaultProfile: er.FaultProfile})
-	s.serveComputed(w, req, key, er.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
+	s.serveComputed(w, req, "/v1/green500", key, profile.Active(), er.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
 		return s.g500Fn(ctx, spec, er.Seed, s.opts(profile, rec))
 	})
 }
@@ -181,7 +181,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, req *http.Request) {
 			core.HashOpts{Method: "compare", FaultProfile: cr.FaultProfile})
 	}
 	key := "compare|" + strings.Join(hashes, "+")
-	s.serveComputed(w, req, key, cr.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
+	s.serveComputed(w, req, "/v1/compare", key, profile.Active(), cr.TimeoutMS, func(ctx context.Context, rec *flight.Recorder) (any, error) {
 		return s.cmpFn(ctx, specs, cr.Seed, s.opts(profile, rec))
 	})
 }
@@ -226,6 +226,37 @@ func (s *Server) handleServers(w http.ResponseWriter, _ *http.Request) {
 	writeBody(w, http.StatusOK, "", body)
 }
 
+// storeOccupancy reports one bounded store's fill level in /healthz.
+type storeOccupancy struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// healthResponse is the /healthz body: liveness plus the occupancy numbers
+// probes and the future cluster-membership layer read from one endpoint.
+type healthResponse struct {
+	Status   string         `json:"status"`
+	Draining bool           `json:"draining"`
+	Inflight int            `json:"inflight"`
+	Cache    storeOccupancy `json:"cache"`
+	Traces   storeOccupancy `json:"traces"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeBody(w, http.StatusOK, "", []byte("{\"status\":\"ok\"}\n"))
+	h := healthResponse{
+		Status:   "ok",
+		Draining: s.draining.Load(),
+		Inflight: len(s.admit),
+		Cache:    storeOccupancy{Entries: s.cache.Len(), Bytes: s.cache.Bytes()},
+		Traces:   storeOccupancy{Entries: s.traces.Len(), Bytes: s.traces.Bytes()},
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	body, err := marshalBody(h)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "", body)
 }

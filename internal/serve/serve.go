@@ -40,6 +40,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"powerbench/internal/core"
@@ -47,6 +48,7 @@ import (
 	"powerbench/internal/obs"
 	"powerbench/internal/sched"
 	"powerbench/internal/server"
+	"powerbench/internal/tracectx"
 )
 
 // Config sizes the service. The zero value selects sane defaults.
@@ -74,6 +76,15 @@ type Config struct {
 	FlightEntries int
 	// EnableProfiling mounts net/http/pprof under GET /debug/pprof/.
 	EnableProfiling bool
+	// TraceEntries bounds the in-memory trace store (0 selects 256).
+	TraceEntries int
+	// TraceSlow is the wall duration at or above which a trace is always
+	// retained by the tail sampler (0 selects 2s).
+	TraceSlow time.Duration
+	// TraceSampleRate is the fraction of traces kept when no tail rule
+	// (error/faulted/slow/cache-miss) applies. 0 selects 0.10; negative
+	// values disable probabilistic retention entirely.
+	TraceSampleRate float64
 	// SLO parameterizes the burn-rate tracker over the /v1 API routes; the
 	// zero value selects the obs defaults (99.9% availability, 99% of
 	// requests under 500 ms, 5m/1h windows).
@@ -115,6 +126,27 @@ func (c Config) flightEntries() int {
 	return 256
 }
 
+func (c Config) traceEntries() int {
+	if c.TraceEntries > 0 {
+		return c.TraceEntries
+	}
+	return 256
+}
+
+func (c Config) traceSlow() time.Duration {
+	if c.TraceSlow > 0 {
+		return c.TraceSlow
+	}
+	return 2 * time.Second
+}
+
+func (c Config) traceSampleRate() float64 {
+	if c.TraceSampleRate != 0 {
+		return c.TraceSampleRate
+	}
+	return 0.10
+}
+
 // Server is the powerbenchd service state.
 type Server struct {
 	cfg     Config
@@ -124,6 +156,11 @@ type Server struct {
 	flights *flightGroup
 	// flightRecs stores flushed flight-record JSONL by flight id.
 	flightRecs *resultCache
+	// traces is the tail-sampled trace store behind GET /v1/traces.
+	traces *traceStore
+	// draining flips once shutdown starts; /healthz reports it so load
+	// balancers stop routing before the listener closes.
+	draining atomic.Bool
 	// slo tracks request outcomes for the burn-rate gauges (nil without Obs).
 	slo *obs.SLOTracker
 	// admit is the admission semaphore: send acquires a compute slot,
@@ -154,6 +191,7 @@ func New(cfg Config) *Server {
 		cache:      newResultCache(cfg.cacheEntries()),
 		flights:    newFlightGroup(),
 		flightRecs: newResultCache(cfg.flightEntries()),
+		traces:     newTraceStore(cfg.traceEntries()),
 		admit:      make(chan struct{}, cfg.maxInFlight()),
 		baseCtx:    ctx,
 		cancelBase: cancel,
@@ -163,6 +201,10 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Obs != nil {
 		s.slo = obs.NewSLOTracker(cfg.Obs.Metrics, cfg.SLO)
+		// The daemon may be handed a bare registry that never went through
+		// the CLI construction path; the build-identity series must exist
+		// either way (idempotent when both run).
+		obs.PublishBuildInfo(cfg.Obs.Metrics)
 	}
 	if cfg.FlightDir != "" {
 		if err := os.MkdirAll(cfg.FlightDir, 0o755); err != nil {
@@ -179,7 +221,8 @@ func New(cfg Config) *Server {
 		"serve_flight_abandoned_total", "serve_deadline_expired_total",
 		"serve_client_gone_total", "serve_compute_total",
 		"serve_compute_errors_total", "serve_cache_evictions_total",
-		"serve_flights_recorded_total",
+		"serve_flights_recorded_total", "serve_traces_dropped_total",
+		"serve_trace_evictions_total",
 	} {
 		s.obs.Counter(name)
 	}
@@ -189,6 +232,8 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/compare", "/v1/compare", s.handleCompare)
 	s.route("GET /v1/servers", "/v1/servers", s.handleServers)
 	s.route("GET /v1/flights/{id}", "/v1/flights", s.handleFlight)
+	s.route("GET /v1/traces", "/v1/traces", s.handleTraces)
+	s.route("GET /v1/traces/{id}", "/v1/traces", s.handleTrace)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.HTTPMetrics(s.obs, "/metrics", s.metricsHandler()))
 	if cfg.EnableProfiling {
@@ -257,6 +302,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // must already have stopped accepting new connections (http.Server's
 // Shutdown does).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	start := time.Now()
 	defer func() {
 		s.obs.Gauge("serve_drain_seconds").Set(time.Since(start).Seconds())
@@ -278,6 +324,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Close cancels outstanding computations and waits for them to unwind.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.cancelBase()
 	s.wg.Wait()
 }
@@ -296,19 +343,43 @@ const retryAfterSec = "1"
 // rec (stored under the request's flight id once the computation settles).
 type computeFn func(ctx context.Context, rec *flight.Recorder) (any, error)
 
+// traceTask bundles the trace a flight reports into with the request
+// identity the tail sampler needs once it settles.
+type traceTask struct {
+	tr      *tracectx.Trace
+	route   string
+	key     string
+	faulted bool
+}
+
 // serveComputed answers one compute request: serve from cache, else join
 // or begin the key's flight under admission control, then wait for the
-// flight or the request deadline, whichever first.
-func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key string, timeoutMS int, fn computeFn) {
-	// The flight id is a pure function of the key, so every response path
-	// (hit, miss, dedup) can advertise where the flight records live.
+// flight or the request deadline, whichever first. route labels the trace's
+// root span; faulted marks requests running a fault profile, which the tail
+// sampler always retains.
+func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, route, key string, faulted bool, timeoutMS int, fn computeFn) {
+	// The flight and trace ids are pure functions of the key, so every
+	// response path (hit, miss, dedup, even 429) can advertise where the
+	// forensics live — and the response traceparent (trace id + root span
+	// id, both identity-derived) lets a caller chain its own spans under
+	// this request before the computation has even finished.
+	tid := tracectx.DeriveID(key)
 	w.Header().Set(flightHeader, flightID(key))
+	w.Header().Set(traceHeader, tid.String())
+	w.Header().Set("Traceparent", tracectx.Format(tid, tracectx.DeriveSpanID(tid, route), true))
+	tr := newRequestTrace(req, route, key)
+	root := tr.Root()
+	cacheSpan := root.Child("cache")
 	if body, ok := s.cache.Get(key); ok {
 		s.obs.Counter("serve_cache_hits_total").Inc()
+		cacheSpan.Attr("result", "hit").End()
+		root.End()
 		writeBody(w, http.StatusOK, "hit", body)
+		s.storeTrace(tr, route, key, http.StatusOK, faulted, "hit", 0)
 		return
 	}
 	s.obs.Counter("serve_cache_misses_total").Inc()
+	cacheSpan.Attr("result", "miss").End()
 
 	// Request deadline: the service ceiling, tightened by timeout_ms.
 	timeout := s.cfg.maxTimeout()
@@ -318,13 +389,18 @@ func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key str
 	ctx, cancel := context.WithTimeout(req.Context(), timeout)
 	defer cancel()
 
-	f, how := s.joinOrBegin(key, fn)
+	f, how := s.joinOrBegin(key, fn, &traceTask{tr: tr, route: route, key: key, faulted: faulted})
 	if f == nil {
-		// Saturated: reject now rather than queue unboundedly.
+		// Saturated: reject now rather than queue unboundedly. The rejection
+		// trace (root + cache miss + admission verdict) is always retained —
+		// a 429 is an error outcome.
 		s.obs.Counter("serve_admission_rejected_total").Inc()
+		root.Child("admission").Attr("result", "rejected").Attr("capacity", cap(s.admit)).End()
+		root.End()
 		w.Header().Set("Retry-After", retryAfterSec)
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("service saturated: %d computations in flight", cap(s.admit)))
+		s.storeTrace(tr, route, key, http.StatusTooManyRequests, faulted, how, 0)
 		return
 	}
 
@@ -349,8 +425,10 @@ func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, key str
 // joinOrBegin attaches the request to key's flight, starting one (under
 // admission control) if none is live. It returns a nil flight when
 // admission is saturated; how reports "dedup" for a join and "miss" for a
-// fresh flight.
-func (s *Server) joinOrBegin(key string, fn computeFn) (f *serveFlight, how string) {
+// fresh flight. Only the flight's beginner donates its trace — trace ids
+// are content addresses, so a joiner's trace would be the same trace, and
+// the beginner's records the actual computation.
+func (s *Server) joinOrBegin(key string, fn computeFn, t *traceTask) (f *serveFlight, how string) {
 	if f := s.flights.join(key); f != nil {
 		s.obs.Counter("serve_dedup_joined_total").Inc()
 		return f, "dedup"
@@ -370,15 +448,20 @@ func (s *Server) joinOrBegin(key string, fn computeFn) (f *serveFlight, how stri
 		s.obs.Counter("serve_dedup_joined_total").Inc()
 		return f, "dedup"
 	}
+	root := t.tr.Root()
+	root.Child("admission").Attr("result", "admitted").Attr("capacity", cap(s.admit)).End()
+	root.Child("singleflight").Attr("result", "begin").End()
 	s.wg.Add(1)
-	go s.runFlight(fctx, f, fn)
+	go s.runFlight(fctx, f, fn, t)
 	return f, "miss"
 }
 
 // runFlight executes the computation, publishes the marshaled response,
-// fills the cache and flight store on success, and releases the admission
-// slot.
-func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn) {
+// fills the cache and flight store on success, releases the admission
+// slot, and hands the settled trace to the tail sampler. The trace is
+// stored on the flight's outcome, not the waiter's — an abandoned request
+// whose computation completed still leaves a full trace behind.
+func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn, t *traceTask) {
 	defer s.wg.Done()
 	defer func() { <-s.admit }()
 	inflight := s.obs.Gauge("serve_compute_inflight")
@@ -386,10 +469,16 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn) {
 	defer inflight.Add(-1)
 	s.obs.Counter("serve_compute_total").Inc()
 
+	compute := t.tr.Root().Child("compute")
+	ctx = tracectx.ContextWith(ctx, compute)
 	rec := flight.NewRecorder(0)
 	start := time.Now()
 	v, err := fn(ctx, rec)
-	s.obs.Histogram("serve_compute_seconds", nil).Observe(time.Since(start).Seconds())
+	dur := time.Since(start)
+	// The exemplar cross-links this latency observation to its trace, the
+	// metrics-to-forensics hop (histogram bucket → exact request).
+	s.obs.Histogram("serve_compute_seconds", nil).
+		ObserveExemplar(dur.Seconds(), "trace:"+t.tr.ID().String())
 
 	status := http.StatusOK
 	var body []byte
@@ -398,6 +487,7 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn) {
 		s.obs.Counter("serve_compute_errors_total").Inc()
 		status = http.StatusInternalServerError
 		body = errorBody(fmt.Sprintf("evaluation failed: %v", err))
+		compute.Attr("error", err.Error())
 	default:
 		body, err = marshalBody(v)
 		if err != nil {
@@ -405,12 +495,18 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn) {
 			body = errorBody(fmt.Sprintf("encoding response: %v", err))
 		}
 	}
+	compute.End()
+	t.tr.Root().End()
 	if status == http.StatusOK {
 		evicted := s.cache.Put(f.key, body)
 		s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
 		s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
 		s.storeFlight(flightID(f.key), rec)
 	}
+	// Store the trace before waking the waiters: a client that reads the
+	// X-Powerbench-Trace header off its response can fetch the trace
+	// immediately, no settle/store race.
+	s.storeTrace(t.tr, t.route, t.key, status, t.faulted, "miss", dur)
 	s.flights.settle(f, status, body)
 }
 

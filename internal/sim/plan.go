@@ -93,13 +93,16 @@ func (e *Engine) RunPlanPartialCtx(ctx context.Context, models []workload.Model,
 		gaps[i] = gap
 	}
 
+	// The traced form threads each job's tracectx span (parented on the
+	// request span in ctx) into the run, so sim phases land in the request's
+	// trace tree keyed by plan index — identical at any worker count.
 	results := make([]RunResult, len(models))
-	reports := pool.RunRetryAllCtx(ctx, "sim", len(models), e.Retry, func(i, attempt int) error {
+	reports := pool.RunRetryAllTracedCtx(ctx, "sim", len(models), e.Retry, func(jctx context.Context, i, attempt int) error {
 		eng := e.Fork("run", strconv.Itoa(i), models[i].Name)
 		if eng.Fault.RunFails(attempt) {
 			return fault.ErrTransient
 		}
-		r, err := eng.run(models[i], starts[i], nil)
+		r, err := eng.run(jctx, models[i], starts[i], nil)
 		if err != nil {
 			return err
 		}

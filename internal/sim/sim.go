@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,6 +19,7 @@ import (
 	"powerbench/internal/pmu"
 	"powerbench/internal/sched"
 	"powerbench/internal/server"
+	"powerbench/internal/tracectx"
 	"powerbench/internal/workload"
 )
 
@@ -109,12 +111,21 @@ func (r RunResult) Duration() float64 { return r.End - r.Start }
 
 // Run executes m starting at server-clock time start.
 func (e *Engine) Run(m workload.Model, start float64) (RunResult, error) {
-	return e.run(m, start, nil)
+	return e.run(context.Background(), m, start, nil)
+}
+
+// RunCtx is Run under a context: when ctx carries a tracectx span (threaded
+// down from the serving layer through the scheduler), the run's phases land
+// in the request's trace tree as a "run <name>" span with ramp/steady/meter/
+// PMU children. The simulation itself has no preemption points, so ctx does
+// not cancel a run; it only carries the trace.
+func (e *Engine) RunCtx(ctx context.Context, m workload.Model, start float64) (RunResult, error) {
+	return e.run(ctx, m, start, nil)
 }
 
 // run is Run with an optional parent span, so RunSequence can nest its runs
 // under the sequence span while direct Run calls open their own track.
-func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResult, error) {
+func (e *Engine) run(ctx context.Context, m workload.Model, start float64, parent *obs.Span) (RunResult, error) {
 	if err := m.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -128,6 +139,8 @@ func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResu
 		sp = e.Obs.Span("run "+m.Name, "run")
 	}
 	defer sp.End()
+	tsp := tracectx.FromContext(ctx).Child("run " + m.Name)
+	defer tsp.End()
 	steady := e.Server.PowerOf(m)
 	idle := e.Server.IdleWatts
 	ramp := e.RampSec
@@ -155,21 +168,29 @@ func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResu
 	}
 
 	sp.SetVirtual(start, end)
+	tsp.SetVirtual(start, end)
 	// The run's phase structure on the virtual clock: the trace shows where
 	// simulated time went even though each phase costs ~no wall time here.
 	sp.Child("ramp-up").SetVirtual(start, start+ramp).End()
 	sp.Child("steady").SetVirtual(start+ramp, end-ramp).End()
 	sp.Child("ramp-down").SetVirtual(end-ramp, end).End()
+	tsp.Child("ramp-up").SetVirtual(start, start+ramp).End()
+	tsp.Child("steady").SetVirtual(start+ramp, end-ramp).End()
+	tsp.Child("ramp-down").SetVirtual(end-ramp, end).End()
 
 	meterSpan := sp.Child("meter record")
+	meterTrace := tsp.Child("meter record")
 	log := e.Meter.Record(start, end, powerAt)
 	log = e.Fault.CorruptTrace(log)
 	meterSpan.Arg("samples", len(log)).End()
+	meterTrace.Attr("samples", len(log)).End()
 
 	pmuSpan := sp.Child("pmu collect")
+	pmuTrace := tsp.Child("pmu collect")
 	samples, err := e.PMU.Collect(e.Server, m)
 	if err != nil {
 		pmuSpan.End()
+		pmuTrace.Attr("error", err.Error()).End()
 		return RunResult{}, err
 	}
 	for i := range samples {
@@ -177,6 +198,7 @@ func (e *Engine) run(m workload.Model, start float64, parent *obs.Span) (RunResu
 	}
 	samples = e.Fault.CorruptPMU(samples)
 	pmuSpan.Arg("windows", len(samples)).End()
+	pmuTrace.Attr("windows", len(samples)).End()
 
 	mem := make([]float64, 0, int(m.DurationSec)+1)
 	for t := 0.0; t <= m.DurationSec; t++ {
@@ -221,7 +243,7 @@ func (e *Engine) RunSequence(models []workload.Model, gapSec float64) ([]RunResu
 			logs = append(logs, gap)
 			t += gapSec + 1
 		}
-		r, err := e.run(m, t, seq)
+		r, err := e.run(context.Background(), m, t, seq)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sim: running %s: %w", m.Name, err)
 		}

@@ -1,0 +1,168 @@
+package tracectx
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Schema identifies the trace document format served by /v1/traces and
+// consumed by `powerbench trace`.
+const Schema = "powerbench-trace-v1"
+
+// SpanDoc is the exported form of one span.
+type SpanDoc struct {
+	// ID and Parent are the identity-derived span ids (16 hex chars); the
+	// root span has an empty Parent.
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	// Path is the /-joined chain of span names from the root; it is the
+	// span's identity and the document's canonical sort key.
+	Path string `json:"path"`
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// StartUS/DurUS are wall-clock microseconds relative to the trace start.
+	// They are the forensic payload but are excluded from the canonical
+	// rendering: wall time is scheduling-dependent by nature.
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Doc is the exported form of one trace.
+type Doc struct {
+	Schema string `json:"schema"`
+	Trace  string `json:"trace"`
+	// Key is the canonical request key the trace id derives from.
+	Key string `json:"key,omitempty"`
+	// Status is the HTTP status the request resolved to; Reason is the
+	// tail-sampling retention reason (error, faulted, slow, cache-miss,
+	// sampled).
+	Status int    `json:"status,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Flight cross-links the daemon's flight record for the same request.
+	Flight string `json:"flight,omitempty"`
+	// Origin is the incoming W3C traceparent header, if any.
+	Origin string `json:"origin,omitempty"`
+	// DurationUS is the root span's wall duration in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// TreeHash is the SHA-256 of the canonical rendering: span paths, names,
+	// categories and attrs in path order, with all wall timings and request
+	// metadata stripped. Identical pipeline work yields an identical hash at
+	// any worker count.
+	TreeHash string    `json:"tree_hash"`
+	Spans    []SpanDoc `json:"spans"`
+}
+
+// Export snapshots the trace into its document form: spans sorted by path,
+// un-ended spans closed at the snapshot instant, and the tree hash computed
+// over the canonical rendering. A nil trace exports a nil doc.
+func (t *Trace) Export() *Doc {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	now := int64(time.Since(t.epoch))
+	origin := t.origin
+	t.mu.Unlock()
+
+	docs := make([]SpanDoc, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		end := s.endNS
+		if !s.ended {
+			end = now
+		}
+		var attrs map[string]any
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]any, len(s.attrs))
+			for k, v := range s.attrs {
+				attrs[k] = v
+			}
+		}
+		d := SpanDoc{
+			ID:      s.id.String(),
+			Path:    s.path,
+			Name:    s.name,
+			Cat:     s.cat,
+			StartUS: s.startNS / 1e3,
+			DurUS:   (end - s.startNS) / 1e3,
+			Attrs:   attrs,
+		}
+		if !s.parent.IsZero() {
+			d.Parent = s.parent.String()
+		}
+		s.mu.Unlock()
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Path < docs[j].Path })
+
+	doc := &Doc{
+		Schema: Schema,
+		Trace:  t.id.String(),
+		Origin: origin,
+		Spans:  docs,
+	}
+	for _, d := range docs {
+		if d.Parent == "" {
+			doc.DurationUS = d.DurUS
+			break
+		}
+	}
+	doc.TreeHash = treeHash(docs)
+	return doc
+}
+
+// canonicalSpan is a SpanDoc stripped to its scheduling-independent fields.
+type canonicalSpan struct {
+	ID     string         `json:"id"`
+	Parent string         `json:"parent,omitempty"`
+	Path   string         `json:"path"`
+	Name   string         `json:"name"`
+	Cat    string         `json:"cat,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// CanonicalJSON renders the document's canonical form: the path-ordered
+// span tree without wall timings or request metadata. Two requests that did
+// the same pipeline work render byte-identically, whatever the `-jobs`
+// count or how slow the machine was.
+func (d *Doc) CanonicalJSON() []byte {
+	spans := make([]canonicalSpan, len(d.Spans))
+	for i, s := range d.Spans {
+		spans[i] = canonicalSpan{ID: s.ID, Parent: s.Parent, Path: s.Path, Name: s.Name, Cat: s.Cat, Attrs: s.Attrs}
+	}
+	// encoding/json sorts map keys, so attrs render deterministically.
+	b, err := json.Marshal(struct {
+		Schema string          `json:"schema"`
+		Trace  string          `json:"trace"`
+		Spans  []canonicalSpan `json:"spans"`
+	}{Schema, d.Trace, spans})
+	if err != nil {
+		panic(fmt.Sprintf("tracectx: canonical marshal: %v", err))
+	}
+	return b
+}
+
+func treeHash(spans []SpanDoc) string {
+	d := Doc{Spans: spans}
+	sum := sha256.Sum256(d.CanonicalJSON())
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseDoc decodes a trace document, checking the schema marker.
+func ParseDoc(b []byte) (*Doc, error) {
+	var d Doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("tracectx: parsing trace doc: %w", err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("tracectx: unsupported trace schema %q (want %q)", d.Schema, Schema)
+	}
+	return &d, nil
+}
