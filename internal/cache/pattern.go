@@ -74,7 +74,32 @@ type ProfileResult struct {
 // measured, so cold-start compulsory misses do not distort the rates. The
 // PMU uses these rates to scale per-second counter streams without
 // simulating every access of an hours-long run.
+//
+// Profiles are served by the batched steady-state profiler (see profile.go)
+// and memoized process-wide; both the fast path and the memo are exact —
+// the result is bit-identical to ProfileReference for every input.
 func Profile(p Pattern, n int, seed float64, cfgs ...Config) (ProfileResult, error) {
+	if !fastProfileEnabled.Load() {
+		return ProfileReference(p, n, seed, cfgs...)
+	}
+	if key, ok := memoKey(p, n, seed, cfgs); ok {
+		if v, ok := profileMemo.Load(key); ok {
+			return v.(ProfileResult), nil
+		}
+		res, err := ProfileUncached(p, n, seed, cfgs...)
+		if err == nil {
+			profileMemo.Store(key, res)
+		}
+		return res, err
+	}
+	return ProfileUncached(p, n, seed, cfgs...)
+}
+
+// ProfileReference is the original per-access computation of Profile: the
+// pattern driven through a full Hierarchy one access at a time. It is the
+// oracle the batched profiler is tested against, and what Profile runs when
+// the fast path is disabled via SetFastProfile(false).
+func ProfileReference(p Pattern, n int, seed float64, cfgs ...Config) (ProfileResult, error) {
 	h, err := NewHierarchy(cfgs...)
 	if err != nil {
 		return ProfileResult{}, err

@@ -62,8 +62,7 @@ type Evaluation struct {
 // AveragePower applies the paper's pipeline to one program window of a
 // merged meter log: extract by timestamps, drop 10% head and tail, average.
 func AveragePower(log []meter.Sample, start, end float64) float64 {
-	w := meter.Window(log, start, end)
-	return stats.TrimmedMean(meter.Watts(w), TrimFrac)
+	return meter.TrimmedMeanWatts(meter.Window(log, start, end), TrimFrac)
 }
 
 // AverageMemory applies the same trim/average to 1 s memory samples.

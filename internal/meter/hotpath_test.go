@@ -1,0 +1,153 @@
+package meter
+
+import (
+	"testing"
+
+	"powerbench/internal/stats"
+)
+
+// TestRecordConstMatchesRecord pins RecordConst to Record with a constant
+// closure: same RNG draw order, same samples, bit for bit — under every
+// meter feature that touches the sample loop (noise, dropout, quantization,
+// skew, sub-second intervals, reversed bounds).
+func TestRecordConstMatchesRecord(t *testing.T) {
+	configure := []struct {
+		name string
+		mod  func(*Meter)
+	}{
+		{"defaults", func(m *Meter) {}},
+		{"noiseless", func(m *Meter) { m.NoiseSD = 0 }},
+		{"dropout", func(m *Meter) { m.DropoutFrac = 0.2 }},
+		{"quantized", func(m *Meter) { m.Quantize = 0.5 }},
+		{"skewed", func(m *Meter) { m.ClockSkewSec = 3.25 }},
+		{"fast-interval", func(m *Meter) { m.IntervalSec = 0.25 }},
+		{"zero-interval-default", func(m *Meter) { m.IntervalSec = 0 }},
+	}
+	spans := []struct{ start, end, watts float64 }{
+		{0, 120, 250},
+		{10, 10, 80},  // single instant
+		{50, 20, 300}, // reversed bounds
+		{0, 0.5, -5},  // negative level clamps to zero
+		{100, 400, 174.8},
+	}
+	for _, cfg := range configure {
+		t.Run(cfg.name, func(t *testing.T) {
+			for _, sp := range spans {
+				ref := New(41)
+				cfg.mod(ref)
+				want := ref.Record(sp.start, sp.end, func(float64) float64 { return sp.watts })
+				fast := New(41)
+				cfg.mod(fast)
+				got := fast.RecordConst(sp.start, sp.end, sp.watts)
+				if len(got) != len(want) {
+					t.Fatalf("span %+v: %d samples, want %d", sp, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("span %+v: sample %d = %+v, want %+v", sp, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeEdgeCases covers the satellite edge grid: no logs, all-empty
+// logs, a single log, and overlapping timestamps across logs (input order
+// must be kept — Merge is stable).
+func TestMergeEdgeCases(t *testing.T) {
+	t.Run("no-logs", func(t *testing.T) {
+		if got := Merge(); got != nil {
+			t.Fatalf("Merge() = %v, want nil", got)
+		}
+	})
+	t.Run("all-empty", func(t *testing.T) {
+		if got := Merge(nil, []Sample{}, nil); got != nil {
+			t.Fatalf("Merge of empty logs = %v, want nil", got)
+		}
+	})
+	t.Run("single-log-copied", func(t *testing.T) {
+		in := []Sample{{T: 1, Watts: 10}, {T: 2, Watts: 20}}
+		got := Merge(in)
+		if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+			t.Fatalf("Merge single = %v, want %v", got, in)
+		}
+		// Merge must return its own storage, not alias the input.
+		got[0].Watts = 99
+		if in[0].Watts != 10 {
+			t.Fatal("Merge aliases its input log")
+		}
+	})
+	t.Run("interleaved", func(t *testing.T) {
+		a := []Sample{{T: 0, Watts: 1}, {T: 2, Watts: 3}}
+		b := []Sample{{T: 1, Watts: 2}, {T: 3, Watts: 4}}
+		got := Merge(a, b)
+		for i := 1; i < len(got); i++ {
+			if got[i].T < got[i-1].T {
+				t.Fatalf("not sorted: %v", got)
+			}
+		}
+		if len(got) != 4 || got[1].Watts != 2 {
+			t.Fatalf("interleave wrong: %v", got)
+		}
+	})
+	t.Run("overlapping-timestamps-stable", func(t *testing.T) {
+		// Three logs share timestamp 5; stable merge keeps them in input
+		// order, distinguishable by their watt values.
+		a := []Sample{{T: 5, Watts: 1}}
+		b := []Sample{{T: 4, Watts: 0}, {T: 5, Watts: 2}}
+		c := []Sample{{T: 5, Watts: 3}}
+		got := Merge(a, b, c)
+		want := []Sample{{T: 4, Watts: 0}, {T: 5, Watts: 1}, {T: 5, Watts: 2}, {T: 5, Watts: 3}}
+		if len(got) != len(want) {
+			t.Fatalf("Merge = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Merge[%d] = %+v, want %+v (stability violated)", i, got[i], want[i])
+			}
+		}
+	})
+	t.Run("duplicates-within-sorted-input", func(t *testing.T) {
+		// Equal timestamps in already-ordered inputs must not trip the
+		// sorted-concatenation fast path into reordering or sorting away
+		// input order.
+		a := []Sample{{T: 1, Watts: 1}, {T: 1, Watts: 2}}
+		b := []Sample{{T: 1, Watts: 3}}
+		got := Merge(a, b)
+		want := []Sample{{T: 1, Watts: 1}, {T: 1, Watts: 2}, {T: 1, Watts: 3}}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Merge[%d] = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestTrimmedMeanWattsMatchesUnfused pins the fused one-pass trim+mean to
+// the composition it replaces, bit for bit, across lengths that exercise
+// every TrimCount edge (empty, shorter than the trim, the cap).
+func TestTrimmedMeanWattsMatchesUnfused(t *testing.T) {
+	m := New(7)
+	long := m.Record(0, 400, func(t float64) float64 { return 200 + 50*t/400 })
+	logs := [][]Sample{
+		nil,
+		{},
+		{{T: 0, Watts: 100}},
+		{{T: 0, Watts: 100}, {T: 1, Watts: 200}},
+		long[:5],
+		long[:9], // still below 1/frac: trim drops nothing
+		long[:10],
+		long[:11],
+		long,
+	}
+	for _, frac := range []float64{0, 0.10, 0.25, 0.5, 0.9} {
+		for i, log := range logs {
+			want := stats.TrimmedMean(Watts(log), frac)
+			got := TrimmedMeanWatts(log, frac)
+			if got != want {
+				t.Errorf("log %d frac %g: fused %v != unfused %v", i, frac, got, want)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"powerbench/internal/rng"
+	"powerbench/internal/stats"
 )
 
 // Sample is one power reading.
@@ -108,12 +109,44 @@ func (m *Meter) Record(start, end float64, p func(t float64) float64) []Sample {
 	if interval <= 0 {
 		interval = 1
 	}
-	var out []Sample
+	out := make([]Sample, 0, int((end-start)/interval)+2)
 	for t := start; t <= end+1e-9; t += interval {
 		if m.DropoutFrac > 0 && m.drop != nil && m.drop.Next() < m.DropoutFrac {
 			continue
 		}
 		w := p(t)
+		if m.NoiseSD > 0 && m.noise != nil {
+			w += m.noise.next() * m.NoiseSD
+		}
+		if m.Quantize > 0 {
+			w = math.Round(w/m.Quantize) * m.Quantize
+		}
+		if w < 0 {
+			w = 0
+		}
+		out = append(out, Sample{T: t + m.ClockSkewSec, Watts: w})
+	}
+	return out
+}
+
+// RecordConst is Record for a constant power level — the idle-gap case the
+// simulator hits between every pair of plan states. It produces exactly the
+// log Record(start, end, func(float64) float64 { return watts }) would
+// (same RNG draw order, same samples), without the per-sample indirect call.
+func (m *Meter) RecordConst(start, end, watts float64) []Sample {
+	if end < start {
+		start, end = end, start
+	}
+	interval := m.IntervalSec
+	if interval <= 0 {
+		interval = 1
+	}
+	out := make([]Sample, 0, int((end-start)/interval)+2)
+	for t := start; t <= end+1e-9; t += interval {
+		if m.DropoutFrac > 0 && m.drop != nil && m.drop.Next() < m.DropoutFrac {
+			continue
+		}
+		w := watts
 		if m.NoiseSD > 0 && m.noise != nil {
 			w += m.noise.next() * m.NoiseSD
 		}
@@ -143,9 +176,30 @@ func Synchronize(log []Sample, skewSec float64) []Sample {
 // analysis step "merge them into one file". Overlapping timestamps are kept
 // in input order (stable).
 func Merge(logs ...[]Sample) []Sample {
-	var all []Sample
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]Sample, 0, total)
 	for _, l := range logs {
 		all = append(all, l...)
+	}
+	// The common case: meters emit samples in time order and the simulator
+	// concatenates log segments in canonical timeline order, so the merged
+	// slice is usually already non-decreasing. A stable sort of a
+	// non-decreasing sequence is the identity, so skip it.
+	sorted := true
+	for i := 1; i < len(all); i++ {
+		if all[i].T < all[i-1].T {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return all
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].T < all[j].T })
 	return all
@@ -170,6 +224,28 @@ func Watts(log []Sample) []float64 {
 		out[i] = s.Watts
 	}
 	return out
+}
+
+// TrimmedMeanWatts is stats.TrimmedMean(Watts(log), frac) fused into one
+// pass: it drops stats.TrimCount samples from each end and Kahan-averages
+// the rest straight off the log, skipping the intermediate power column the
+// analysis pipeline would otherwise allocate per program window. The
+// compensation sequence matches stats.Sum term for term, so the result is
+// bit-identical to the unfused form.
+func TrimmedMeanWatts(log []Sample, frac float64) float64 {
+	cut := stats.TrimCount(len(log), frac)
+	kept := log[cut : len(log)-cut]
+	if len(kept) == 0 {
+		return 0
+	}
+	var sum, comp float64
+	for _, s := range kept {
+		y := s.Watts - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(kept))
 }
 
 // MarshalCSV renders a log in the WTViewer-style CSV format used by the

@@ -1,0 +1,9 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// ladders are skipped under it: shadow-memory instrumentation inflates
+// large rungs disproportionately, so fitted slopes stop measuring the
+// algorithm.
+const raceEnabled = true

@@ -14,7 +14,6 @@
 package pmu
 
 import (
-	"fmt"
 	"math"
 	"sync"
 
@@ -79,12 +78,29 @@ func quantizePow2(v uint64) uint64 {
 // working sets, short enough to be cheap.
 const profileAccesses = 200_000
 
+// profileKey identifies a memoized profile: the named hierarchy and the
+// quantized pattern. A comparable struct key avoids the fmt.Sprintf that a
+// string key would spend on every lookup of the hot path.
+type profileKey struct {
+	name string
+	p    cache.Pattern
+}
+
 // profileCache memoizes cache.Profile results: the same (pattern,
 // hierarchy) pair recurs for every sample of every run of a program.
-var profileCache sync.Map // string -> cache.ProfileResult
+var profileCache sync.Map // profileKey -> cache.ProfileResult
+
+// ResetProfileCacheForTest clears the memoized profiles so benchmarks can
+// time the cold path.
+func ResetProfileCacheForTest() {
+	profileCache.Range(func(k, _ any) bool {
+		profileCache.Delete(k)
+		return true
+	})
+}
 
 func profileFor(spec *server.Spec, p cache.Pattern) (cache.ProfileResult, error) {
-	key := fmt.Sprintf("%s|%d|%f|%d|%f", spec.Name, p.WorkingSetBytes, p.SequentialFrac, p.StrideBytes, p.WriteFrac)
+	key := profileKey{name: spec.Name, p: p}
 	if v, ok := profileCache.Load(key); ok {
 		return v.(cache.ProfileResult), nil
 	}

@@ -135,9 +135,13 @@ func fitWeighted(x [][]float64, y, w []float64, intercept bool, lambda float64) 
 	if intercept {
 		dim = k + 1
 	}
+	// One flat backing array for the dim×dim system instead of a make per
+	// row; the accumulation order (and hence every rounding step) is
+	// unchanged.
+	flat := make([]float64, dim*dim)
 	ata := make([][]float64, dim)
 	for i := range ata {
-		ata[i] = make([]float64, dim)
+		ata[i] = flat[i*dim : (i+1)*dim]
 	}
 	aty := make([]float64, dim)
 	at := func(row []float64, j int) float64 {
@@ -152,6 +156,9 @@ func fitWeighted(x [][]float64, y, w []float64, intercept bool, lambda float64) 
 		}
 		return w[i]
 	}
+	// XᵀWX and XᵀWy accumulate in one pass over the observations; each
+	// accumulator still receives its terms in observation order, so the
+	// fusion is bit-exact against the former two-pass form.
 	for idx, row := range x {
 		wi := weight(idx)
 		for i := 0; i < dim; i++ {
@@ -160,9 +167,6 @@ func fitWeighted(x [][]float64, y, w []float64, intercept bool, lambda float64) 
 				ata[i][j] += vi * at(row, j)
 			}
 		}
-	}
-	for idx, row := range x {
-		wi := weight(idx)
 		for i := 0; i < dim; i++ {
 			aty[i] += wi * at(row, i) * y[idx]
 		}
@@ -250,11 +254,14 @@ func (m *Model) computeSummary(x [][]float64, y []float64) {
 // cancelling coefficients, so ErrSingular is returned instead.
 func solve(a [][]float64, b []float64) ([]float64, error) {
 	n := len(a)
-	// Work on copies: callers may reuse the inputs.
+	// Work on copies: callers may reuse the inputs. One flat backing array
+	// serves all n row copies.
 	m := make([][]float64, n)
+	mflat := make([]float64, n*n)
 	scale := 0.0
 	for i := range m {
-		m[i] = append([]float64(nil), a[i]...)
+		m[i] = mflat[i*n : (i+1)*n]
+		copy(m[i], a[i])
 		for _, v := range m[i] {
 			if abs := math.Abs(v); abs > scale {
 				scale = abs

@@ -13,6 +13,8 @@
 // auditable.
 package rng
 
+import "sync/atomic"
+
 const (
 	// A is the NPB multiplier 5^13.
 	A = 1220703125.0
@@ -25,11 +27,53 @@ const (
 	t46 = t23 * t23
 )
 
+// mask46 selects the low 46 bits of a uint64, i.e. reduction mod 2^46.
+const mask46 = 1<<46 - 1
+
+// fastLCGEnabled selects between the integer LCG step (default) and the
+// double-precision reference form everywhere. The two produce bit-identical
+// sequences; the switch exists so benchmarks can reproduce the
+// reference-arithmetic hot path for before/after comparisons.
+var fastLCGEnabled atomic.Bool
+
+func init() { fastLCGEnabled.Store(true) }
+
+// SetFastLCG enables or disables the integer fast path of Randlc and of
+// streams constructed afterwards, returning the previous setting. Output is
+// identical either way — only the arithmetic route changes.
+func SetFastLCG(enabled bool) bool {
+	return fastLCGEnabled.Swap(enabled)
+}
+
 // Randlc advances *x one step of the LCG with multiplier a and returns the
-// result scaled into (0,1). It is a direct transcription of the NPB randlc
+// result scaled into (0,1). It is a transcription of the NPB randlc
 // function: a and x are treated as 46-bit integers stored in float64s, and
 // the 92-bit product is formed from 23-bit halves.
+//
+// When both operands are exact 46-bit integers — the case for every seed
+// DeriveSeed produces and for the canonical multiplier A — the same step is
+// taken on uint64s instead: a·x mod 2^46 factors through the wrapping
+// 64-bit product because 2^46 divides 2^64, so the truncated multiply
+// plus a mask is exactly the reference result at a fraction of the cost.
+// randlcFloat retains the reference form; TestRandlcIntegerPathExact pins
+// the two to bit-identical sequences.
 func Randlc(x *float64, a float64) float64 {
+	if fastLCGEnabled.Load() && *x >= 0 && *x < t46 && a >= 0 && a < t46 {
+		xi, ai := uint64(*x), uint64(a)
+		if float64(xi) == *x && float64(ai) == a {
+			xi = xi * ai & mask46
+			*x = float64(xi)
+			return r46 * *x
+		}
+	}
+	return randlcFloat(x, a)
+}
+
+// randlcFloat is the double-precision reference implementation of the NPB
+// randlc step, kept verbatim: it handles non-integer states (derived seeds
+// like seed+0.5 never re-enter the integer lattice) and anchors the
+// property test that proves the integer fast path exact.
+func randlcFloat(x *float64, a float64) float64 {
 	// Split a = 2^23·a1 + a2 and x = 2^23·x1 + x2.
 	t1 := r23 * a
 	a1 := float64(int64(t1))
@@ -86,27 +130,72 @@ func Skip(seed, a float64, n int64) float64 {
 	return x
 }
 
-// Stream is a convenience wrapper holding generator state.
+// Stream is a convenience wrapper holding generator state. Streams whose
+// seed and multiplier are exact 46-bit integers (every DeriveSeed output,
+// the canonical A) decide once at construction to run the integer form of
+// the step, so the per-draw integer/float check of Randlc is hoisted out of
+// the hot loops that meters, PMU samplers and the cache profiler run on.
 type Stream struct {
-	x float64
-	a float64
+	x    float64
+	a    float64
+	xi   uint64 // integer state; authoritative when fast
+	ai   uint64
+	fast bool
 }
 
 // NewStream returns a Stream seeded at seed with multiplier a. Pass A and
 // DefaultSeed for the canonical NPB stream.
-func NewStream(seed, a float64) *Stream { return &Stream{x: seed, a: a} }
+func NewStream(seed, a float64) *Stream {
+	s := &Stream{x: seed, a: a}
+	if fastLCGEnabled.Load() && seed >= 0 && seed < t46 && a >= 0 && a < t46 {
+		xi, ai := uint64(seed), uint64(a)
+		if float64(xi) == seed && float64(ai) == a {
+			s.xi, s.ai, s.fast = xi, ai, true
+		}
+	}
+	return s
+}
 
 // Next returns the next value in (0,1).
-func (s *Stream) Next() float64 { return Randlc(&s.x, s.a) }
+func (s *Stream) Next() float64 {
+	if s.fast {
+		s.xi = s.xi * s.ai & mask46
+		return float64(s.xi) * r46
+	}
+	return Randlc(&s.x, s.a)
+}
 
 // NextN fills out with the next len(out) values.
-func (s *Stream) NextN(out []float64) { Vranlc(len(out), &s.x, s.a, out) }
+func (s *Stream) NextN(out []float64) {
+	if s.fast {
+		xi, ai := s.xi, s.ai
+		for i := range out {
+			xi = xi * ai & mask46
+			out[i] = float64(xi) * r46
+		}
+		s.xi = xi
+		return
+	}
+	Vranlc(len(out), &s.x, s.a, out)
+}
 
 // Seed returns the current raw state (a 46-bit integer stored in a float64).
-func (s *Stream) Seed() float64 { return s.x }
+func (s *Stream) Seed() float64 {
+	if s.fast {
+		return float64(s.xi)
+	}
+	return s.x
+}
 
 // SkipAhead advances the stream by n steps in O(log n) time.
-func (s *Stream) SkipAhead(n int64) { s.x = Skip(s.x, s.a, n) }
+func (s *Stream) SkipAhead(n int64) {
+	if s.fast {
+		x := float64(s.xi)
+		s.xi = uint64(Skip(x, float64(s.ai), n))
+		return
+	}
+	s.x = Skip(s.x, s.a, n)
+}
 
 // Uint64n maps the next value to an integer in [0, n) — used by IS key
 // generation and by synthetic address-trace construction. n must be > 0.

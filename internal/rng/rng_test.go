@@ -177,3 +177,128 @@ func BenchmarkSkipAhead(b *testing.B) {
 		Skip(DefaultSeed, A, 1<<32)
 	}
 }
+
+// TestRandlcIntegerPathExact proves the integer fast path bit-identical to
+// the double-precision reference form across many full-period seeds: every
+// simulated noise stream in the pipeline rides on this equivalence.
+func TestRandlcIntegerPathExact(t *testing.T) {
+	seeds := []float64{1, 3, DefaultSeed, 1220703125, 1<<46 - 1, 12345677}
+	for _, seed := range seeds {
+		fast, ref := seed, seed
+		for i := 0; i < 50_000; i++ {
+			got := Randlc(&fast, A)
+			want := randlcFloat(&ref, A)
+			if got != want || fast != ref {
+				t.Fatalf("seed %v step %d: fast (%v, state %v) != reference (%v, state %v)",
+					seed, i, got, fast, want, ref)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesRandlc pins Stream's hoisted integer path (and its
+// float fallback for non-integer seeds) to per-call Randlc.
+func TestStreamMatchesRandlc(t *testing.T) {
+	for _, seed := range []float64{1, DefaultSeed, 17.5, 0.25, 9007199254740993} {
+		s := NewStream(seed, A)
+		x := seed
+		for i := 0; i < 20_000; i++ {
+			got, want := s.Next(), Randlc(&x, A)
+			if got != want {
+				t.Fatalf("seed %v step %d: Stream.Next %v != Randlc %v", seed, i, got, want)
+			}
+		}
+		if s.Seed() != x {
+			t.Fatalf("seed %v: Stream.Seed %v != Randlc state %v", seed, s.Seed(), x)
+		}
+	}
+}
+
+// TestStreamNextNMatchesNext checks the batched form against single draws
+// on both the integer and the float paths.
+func TestStreamNextNMatchesNext(t *testing.T) {
+	for _, seed := range []float64{DefaultSeed, 42.5} {
+		a, b := NewStream(seed, A), NewStream(seed, A)
+		buf := make([]float64, 257)
+		a.NextN(buf)
+		for i, v := range buf {
+			if want := b.Next(); v != want {
+				t.Fatalf("seed %v: NextN[%d] = %v, Next = %v", seed, i, v, want)
+			}
+		}
+	}
+}
+
+// TestStreamSkipAheadIntegerPath checks SkipAhead keeps the fast state in
+// sync with sequential advancing.
+func TestStreamSkipAheadIntegerPath(t *testing.T) {
+	a, b := NewStream(DefaultSeed, A), NewStream(DefaultSeed, A)
+	a.SkipAhead(1000)
+	for i := 0; i < 1000; i++ {
+		b.Next()
+	}
+	if a.Seed() != b.Seed() {
+		t.Fatalf("SkipAhead(1000) state %v != 1000 Next calls state %v", a.Seed(), b.Seed())
+	}
+	if a.Next() != b.Next() {
+		t.Fatal("draws diverge after SkipAhead")
+	}
+}
+
+func BenchmarkStreamNext(b *testing.B) {
+	b.Run("integer-seed", func(b *testing.B) {
+		s := NewStream(DefaultSeed, A)
+		for i := 0; i < b.N; i++ {
+			s.Next()
+		}
+	})
+	b.Run("float-seed", func(b *testing.B) {
+		s := NewStream(DefaultSeed+0.5, A)
+		for i := 0; i < b.N; i++ {
+			s.Next()
+		}
+	})
+}
+
+// TestSetFastLCGEquivalence pins the toggle's contract: with the integer
+// fast path disabled, Randlc and Stream reproduce the exact sequence the
+// fast path produces — the switch changes arithmetic route, never output.
+func TestSetFastLCGEquivalence(t *testing.T) {
+	seeds := []float64{DefaultSeed, 1, 271828183.0 + 0.5, 1<<46 - 1}
+	for _, seed := range seeds {
+		fast := make([]float64, 200)
+		s := NewStream(seed, A)
+		s.NextN(fast[:100])
+		for i := 100; i < 200; i++ {
+			fast[i] = s.Next()
+		}
+		fastEnd := s.Seed()
+
+		prev := SetFastLCG(false)
+		if !prev {
+			t.Fatal("fast LCG unexpectedly disabled at test entry")
+		}
+		slow := make([]float64, 200)
+		r := NewStream(seed, A)
+		r.NextN(slow[:100])
+		for i := 100; i < 200; i++ {
+			slow[i] = r.Next()
+		}
+		slowEnd := r.Seed()
+		x := seed
+		first := Randlc(&x, A)
+		SetFastLCG(prev)
+
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("seed %v: draw %d differs: fast %v, reference %v", seed, i, fast[i], slow[i])
+			}
+		}
+		if fastEnd != slowEnd {
+			t.Fatalf("seed %v: end state differs: fast %v, reference %v", seed, fastEnd, slowEnd)
+		}
+		if first != slow[0] {
+			t.Fatalf("seed %v: Randlc reference draw %v != stream draw %v", seed, first, slow[0])
+		}
+	}
+}

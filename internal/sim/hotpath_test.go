@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"powerbench/internal/meter"
+	"powerbench/internal/server"
+	"powerbench/internal/workload"
+)
+
+// TestGapRecordingAllocs is the allocation-regression test for the idle-gap
+// fix: RecordConst writes one preallocated slice per gap — no per-sample
+// growth, no closure environment.
+func TestGapRecordingAllocs(t *testing.T) {
+	m := meter.New(17)
+	var sink []meter.Sample
+	allocs := testing.AllocsPerRun(50, func() {
+		sink = m.RecordConst(0, 30, 85.0)
+	})
+	if len(sink) == 0 {
+		t.Fatal("gap recording produced no samples")
+	}
+	if allocs > 1 {
+		t.Errorf("RecordConst allocates %.0f times per gap, want ≤ 1 (the result slice)", allocs)
+	}
+}
+
+// TestRecordAllocs pins the preallocation of the general recorder: one run's
+// trace costs one slice, even with noise and quantization active.
+func TestRecordAllocs(t *testing.T) {
+	m := meter.New(17)
+	m.Quantize = 0.1
+	p := func(t float64) float64 { return 200 + t }
+	var sink []meter.Sample
+	allocs := testing.AllocsPerRun(50, func() {
+		sink = m.Record(0, 120, p)
+	})
+	if len(sink) == 0 {
+		t.Fatal("recording produced no samples")
+	}
+	if allocs > 1 {
+		t.Errorf("Record allocates %.0f times per trace, want ≤ 1", allocs)
+	}
+}
+
+// TestRunSequenceGapMatchesClosureForm pins the RecordConst rewrite inside
+// RunSequence: the merged session log must carry idle gaps identical to
+// what the historic closure formulation recorded (same seeds, same draws,
+// same samples).
+func TestRunSequenceGapMatchesClosureForm(t *testing.T) {
+	spec := server.XeonE5462()
+	models := []workload.Model{
+		workload.Idle(60),
+		workload.Idle(40),
+		workload.Idle(50),
+	}
+	const gap = 30.0
+
+	e := New(spec, 5)
+	_, merged, err := e.RunSequence(models, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the session with the closure-based gap recording against
+	// a meter in the same stream state (gaps and runs draw from the single
+	// engine meter in timeline order, so replaying the same order with the
+	// same seed reproduces the draws).
+	e2 := New(spec, 5)
+	var logs [][]meter.Sample
+	tcur := 0.0
+	for i, m := range models {
+		if i > 0 && gap > 0 {
+			g := e2.Meter.Record(tcur, tcur+gap, func(float64) float64 { return spec.IdleWatts })
+			logs = append(logs, g)
+			tcur += gap + 1
+		}
+		r, err := e2.Run(m, tcur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, r.PowerLog)
+		tcur = r.End + 1
+	}
+	want := meter.Merge(logs...)
+
+	if len(merged) != len(want) {
+		t.Fatalf("merged log has %d samples, closure form %d", len(merged), len(want))
+	}
+	for i := range merged {
+		if merged[i] != want[i] {
+			t.Fatalf("sample %d: %+v != closure form %+v", i, merged[i], want[i])
+		}
+	}
+}

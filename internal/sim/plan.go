@@ -88,7 +88,7 @@ func (e *Engine) RunPlanPartialCtx(ctx context.Context, models []workload.Model,
 	for i := 1; i < len(models) && gapSec > 0; i++ {
 		m := e.Meter.Clone(sched.DeriveSeed(e.seed, e.Server.Name, "gap", strconv.Itoa(i)))
 		gapStart := starts[i] - gapSec - 1
-		gap := m.Record(gapStart, gapStart+gapSec, func(float64) float64 { return e.Server.IdleWatts })
+		gap := m.RecordConst(gapStart, gapStart+gapSec, e.Server.IdleWatts)
 		e.Obs.Counter("sim_idle_gap_samples_total").Add(int64(len(gap)))
 		gaps[i] = gap
 	}

@@ -233,12 +233,12 @@ func (e *Engine) run(ctx context.Context, m workload.Model, start float64, paren
 func (e *Engine) RunSequence(models []workload.Model, gapSec float64) ([]RunResult, []meter.Sample, error) {
 	seq := e.Obs.Span("sequence", "run").Arg("models", len(models))
 	defer seq.End()
-	var results []RunResult
-	var logs [][]meter.Sample
+	results := make([]RunResult, 0, len(models))
+	logs := make([][]meter.Sample, 0, 2*len(models))
 	t := 0.0
 	for i, m := range models {
 		if i > 0 && gapSec > 0 {
-			gap := e.Meter.Record(t, t+gapSec, func(float64) float64 { return e.Server.IdleWatts })
+			gap := e.Meter.RecordConst(t, t+gapSec, e.Server.IdleWatts)
 			e.Obs.Counter("sim_idle_gap_samples_total").Add(int64(len(gap)))
 			logs = append(logs, gap)
 			t += gapSec + 1
