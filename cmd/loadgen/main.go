@@ -10,15 +10,23 @@
 //	loadgen -url http://127.0.0.1:8080 [-endpoint /v1/evaluate]
 //	        [-server name] [-seed n] [-body json] [-n 1000] [-c 8]
 //	        [-vary-seeds] [-no-warm] [-timeout d] [-slow n]
+//	loadgen -url http://127.0.0.1:8080 -campaign sweep.json [-poll d]
 //
 // By default one untimed warm-up request populates the daemon's cache so
 // the timed run measures steady-state (cache-hit) serving; -no-warm and
 // -vary-seeds measure the compute path instead. The summary ends with the
 // trace ids of the -slow slowest responses plus every non-200, ready to
 // paste into `powerbench trace show <url>/v1/traces/<id>`.
+//
+// -campaign switches loadgen into sweep mode: the JSON sweep spec (a file
+// path, or "-" for stdin) is submitted to POST /v1/jobs and watched until
+// it reaches a terminal state, printing progress as points complete. The
+// final digest includes the daemon's /healthz jobs block (queue depth,
+// active campaigns, WAL segments, read-only flag) in both modes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -63,8 +71,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noWarm := fs.Bool("no-warm", false, "skip the untimed cache warm-up request")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request client timeout")
 	slow := fs.Int("slow", 3, "list the trace ids of the N slowest responses in the summary")
+	campaign := fs.String("campaign", "", "submit this sweep-spec JSON file (\"-\" = stdin) to /v1/jobs and watch it to completion")
+	poll := fs.Duration("poll", 250*time.Millisecond, "campaign watch poll interval")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *campaign != "" {
+		return runCampaign(*campaign, *baseURL, *timeout, *poll, stdout, stderr)
 	}
 	if *n < 1 || *c < 1 {
 		fmt.Fprintln(stderr, "loadgen: -n and -c must be at least 1")
@@ -193,10 +206,140 @@ func run(args []string, stdout, stderr io.Writer) int {
 			caches["hit"], caches["miss"], caches["dedup"])
 	}
 	writeTraceDigest(stdout, results, *slow)
+	writeJobsDigest(stdout, client, *baseURL)
 	if transportErrs > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jobsHealth mirrors the jobs block of the daemon's /healthz body.
+type jobsHealth struct {
+	QueueDepth        int  `json:"queue_depth"`
+	ActiveCampaigns   int  `json:"active_campaigns"`
+	WALSegments       int  `json:"wal_segments"`
+	ReadOnly          bool `json:"read_only"`
+	QuarantinedPoints int  `json:"quarantined_points"`
+}
+
+// writeJobsDigest appends the daemon's campaign-subsystem health to the
+// summary, so a load run's output records whether background sweeps were
+// competing for the machine (and whether the WAL has degraded).
+func writeJobsDigest(stdout io.Writer, client *http.Client, baseURL string) {
+	resp, err := client.Get(strings.TrimSuffix(baseURL, "/") + "/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Jobs *jobsHealth `json:"jobs"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&h) != nil || h.Jobs == nil {
+		return
+	}
+	fmt.Fprintf(stdout, "jobs: queue %d, active campaigns %d, wal segments %d, quarantined %d, read-only %v\n",
+		h.Jobs.QueueDepth, h.Jobs.ActiveCampaigns, h.Jobs.WALSegments, h.Jobs.QuarantinedPoints, h.Jobs.ReadOnly)
+}
+
+// campaignStatus mirrors the fields of the daemon's campaign status body
+// the watcher needs.
+type campaignStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Reason string `json:"reason"`
+	Counts struct {
+		Total       int `json:"total"`
+		Done        int `json:"done"`
+		Quarantined int `json:"quarantined"`
+		Cancelled   int `json:"cancelled"`
+		Computed    int `json:"computed"`
+		Cached      int `json:"cached"`
+	} `json:"counts"`
+	Error string `json:"error"`
+	Field string `json:"field"`
+}
+
+// runCampaign submits a sweep spec and watches it to a terminal state.
+func runCampaign(specPath, baseURL string, timeout, poll time.Duration, stdout, stderr io.Writer) int {
+	var spec []byte
+	var err error
+	if specPath == "-" {
+		spec, err = io.ReadAll(os.Stdin)
+	} else {
+		spec, err = os.ReadFile(specPath)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: reading sweep spec: %v\n", err)
+		return 2
+	}
+	client := &http.Client{Timeout: timeout}
+	base := strings.TrimSuffix(baseURL, "/")
+	resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(spec)))
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: submitting campaign: %v (is powerbenchd running?)\n", err)
+		return 1
+	}
+	var st campaignStatus
+	decErr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		if decErr == nil && st.Error != "" {
+			if st.Field != "" {
+				fmt.Fprintf(stderr, "loadgen: campaign rejected (%d): %s (field %s)\n", resp.StatusCode, st.Error, st.Field)
+			} else {
+				fmt.Fprintf(stderr, "loadgen: campaign rejected (%d): %s\n", resp.StatusCode, st.Error)
+			}
+		} else {
+			fmt.Fprintf(stderr, "loadgen: campaign rejected with status %d\n", resp.StatusCode)
+		}
+		return 1
+	}
+	if decErr != nil {
+		fmt.Fprintf(stderr, "loadgen: decoding campaign status: %v\n", decErr)
+		return 1
+	}
+	verb := "accepted"
+	if resp.StatusCode == http.StatusOK {
+		verb = "already known"
+	}
+	fmt.Fprintf(stdout, "campaign %s %s: %d point(s)\n", st.ID, verb, st.Counts.Total)
+
+	start := time.Now()
+	lastDone := -1
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: polling campaign: %v\n", err)
+			return 1
+		}
+		var cur campaignStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			fmt.Fprintf(stderr, "loadgen: campaign status %d\n", resp.StatusCode)
+			return 1
+		}
+		if cur.Counts.Done != lastDone {
+			lastDone = cur.Counts.Done
+			fmt.Fprintf(stdout, "progress: %d/%d done (%d computed, %d cached, %d quarantined) %.1fs\n",
+				cur.Counts.Done, cur.Counts.Total, cur.Counts.Computed, cur.Counts.Cached,
+				cur.Counts.Quarantined, time.Since(start).Seconds())
+		}
+		if cur.State == "done" || cur.State == "cancelled" {
+			fmt.Fprintf(stdout, "campaign %s %s in %.1fs: %d/%d done, %d computed, %d cached, %d quarantined, %d cancelled\n",
+				cur.ID, cur.State, time.Since(start).Seconds(), cur.Counts.Done, cur.Counts.Total,
+				cur.Counts.Computed, cur.Counts.Cached, cur.Counts.Quarantined, cur.Counts.Cancelled)
+			if cur.Reason != "" {
+				fmt.Fprintf(stdout, "reason: %s\n", cur.Reason)
+			}
+			writeJobsDigest(stdout, client, baseURL)
+			if cur.State != "done" {
+				return 1
+			}
+			return 0
+		}
+		time.Sleep(poll)
+	}
 }
 
 // writeTraceDigest lists the trace ids worth investigating after a run: the

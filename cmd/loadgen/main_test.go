@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -15,6 +16,11 @@ import (
 func TestLoadgenReport(t *testing.T) {
 	var hits atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			// The final-digest health probe, outside the timed run.
+			w.Write([]byte(`{"status":"ok","jobs":{"queue_depth":0,"active_campaigns":0,"wal_segments":1,"read_only":false,"quarantined_points":0}}`))
+			return
+		}
 		if r.Method != http.MethodPost {
 			t.Errorf("method %s, want POST", r.Method)
 		}
@@ -34,7 +40,7 @@ func TestLoadgenReport(t *testing.T) {
 		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"50 requests", "req/s", "p50", "p99", "status: 200 x 50", "cache: hit"} {
+	for _, want := range []string{"50 requests", "req/s", "p50", "p99", "status: 200 x 50", "cache: hit", "jobs: queue 0"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
@@ -49,6 +55,10 @@ func TestLoadgenReport(t *testing.T) {
 func TestLoadgenVarySeeds(t *testing.T) {
 	seen := make(chan string, 64)
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
 		var b bytes.Buffer
 		b.ReadFrom(r.Body)
 		seen <- b.String()
@@ -106,7 +116,13 @@ func TestLoadgenTraceDigest(t *testing.T) {
 	var n atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		i := n.Add(1)
-		w.Header().Set("X-Powerbench-Trace", strings.Repeat("a", 30)+twoDigits(int(i%4)))
+		// Every 429 shares one trace id (exercising the error dedup); each
+		// success gets its own, so the slow list never collapses.
+		id := twoDigits(int(i % 100))
+		if i%4 == 0 {
+			id = twoDigits(0)
+		}
+		w.Header().Set("X-Powerbench-Trace", strings.Repeat("a", 30)+id)
 		if i%4 == 0 {
 			w.WriteHeader(http.StatusTooManyRequests)
 			w.Write([]byte(`{"error":"busy"}`))
@@ -144,5 +160,76 @@ func TestLoadgenBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if rc := run([]string{"-n", "0"}, &stdout, &stderr); rc != 2 {
 		t.Fatalf("exit code %d, want 2", rc)
+	}
+}
+
+// -campaign submits the sweep spec and watches it to completion, printing
+// progress and the jobs health digest.
+func TestLoadgenCampaign(t *testing.T) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			var b bytes.Buffer
+			b.ReadFrom(r.Body)
+			if !strings.Contains(b.String(), `"seeds"`) {
+				t.Errorf("submitted spec missing seeds: %s", b.String())
+			}
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"id":"cdeadbeef","state":"running","counts":{"total":4}}`))
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/jobs/cdeadbeef":
+			if polls.Add(1) < 2 {
+				w.Write([]byte(`{"id":"cdeadbeef","state":"running","counts":{"total":4,"done":2,"computed":2}}`))
+				return
+			}
+			w.Write([]byte(`{"id":"cdeadbeef","state":"done","counts":{"total":4,"done":4,"computed":3,"cached":1}}`))
+		case r.URL.Path == "/healthz":
+			w.Write([]byte(`{"status":"ok","jobs":{"queue_depth":0,"active_campaigns":0,"wal_segments":1,"read_only":false,"quarantined_points":0}}`))
+		default:
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	spec := t.TempDir() + "/sweep.json"
+	if err := os.WriteFile(spec, []byte(`{"servers":["Xeon-E5462"],"seeds":[1,2,3,4]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-url", ts.URL, "-campaign", spec, "-poll", "1ms"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"campaign cdeadbeef accepted: 4 point(s)",
+		"campaign cdeadbeef done",
+		"3 computed, 1 cached",
+		"jobs: queue 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A rejected sweep reports the server's field error and exits nonzero.
+func TestLoadgenCampaignRejected(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown fault profile","field":"fault_profiles[0]"}`))
+	}))
+	defer ts.Close()
+	spec := t.TempDir() + "/sweep.json"
+	if err := os.WriteFile(spec, []byte(`{"fault_profiles":["nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if rc := run([]string{"-url", ts.URL, "-campaign", spec}, &stdout, &stderr); rc != 1 {
+		t.Fatalf("exit code %d, want 1", rc)
+	}
+	if !strings.Contains(stderr.String(), "fault_profiles[0]") {
+		t.Errorf("rejection message missing the field name: %s", stderr.String())
 	}
 }

@@ -6,18 +6,29 @@
 //	powerbenchd [-addr host:port] [-jobs n] [-max-inflight n]
 //	            [-cache-entries n] [-max-timeout d]
 //	            [-flight-dir dir] [-pprof]
+//	            [-wal-dir dir] [-max-campaign-points n] [-campaign-workers n]
 //	            [-v] [-q] [-metrics-out file] [-trace-out file]
 //
 // Endpoints:
 //
-//	POST /v1/evaluate      run the §V method on a server spec
-//	POST /v1/green500      PPW-at-peak (§III-B)
-//	POST /v1/compare       all three methods across servers (§V-C3)
-//	GET  /v1/servers       the built-in Table I specs
-//	GET  /v1/flights/{id}  flight records (JSONL) of a computed request
-//	GET  /metrics          Prometheus exposition of the live registry
-//	GET  /healthz          liveness probe
-//	GET  /debug/pprof/     live CPU/heap/goroutine profiles (with -pprof)
+//	POST /v1/evaluate           run the §V method on a server spec
+//	POST /v1/green500           PPW-at-peak (§III-B)
+//	POST /v1/compare            all three methods across servers (§V-C3)
+//	GET  /v1/servers            the built-in Table I specs
+//	GET  /v1/flights/{id}       flight records (JSONL) of a computed request
+//	POST /v1/jobs               submit a durable sweep campaign
+//	GET  /v1/jobs[/{id}]        campaign list / status (?points=1 for the table)
+//	DELETE /v1/jobs/{id}        cancel a live campaign (purge a finished one)
+//	GET  /v1/jobs/{id}/events   campaign progress as server-sent events
+//	GET  /metrics               Prometheus exposition of the live registry
+//	GET  /healthz               liveness probe (+ campaign/WAL block)
+//	GET  /debug/pprof/          live CPU/heap/goroutine profiles (with -pprof)
+//
+// With -wal-dir set, campaigns are durable: every state transition is
+// journaled to a CRC-checked segmented write-ahead log, and a crashed
+// daemon replays it at boot — completed points re-enter the result cache
+// byte-identically, unfinished ones resume computing, poisoned ones stay
+// quarantined (DESIGN.md §13).
 //
 // Identical requests are deduplicated and cached (content-addressed on the
 // canonical spec/seed/options hash), admission control answers 429 +
@@ -60,6 +71,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 60*time.Second, "ceiling on per-request deadlines")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight work")
 	flightDir := fs.String("flight-dir", "", "persist flight records as <id>.jsonl under this directory")
+	walDir := fs.String("wal-dir", "", "journal sweep campaigns to a write-ahead log under this directory (empty = volatile campaigns)")
+	maxCampaignPoints := fs.Int("max-campaign-points", 0, "largest allowed campaign expansion (0 = 10000)")
+	campaignWorkers := fs.Int("campaign-workers", 0, "concurrently executing campaign points (0 = 2)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	var cli obs.CLI
 	cli.Register(fs)
@@ -74,15 +88,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	stopRuntime := obs.NewRuntimeBridge(o.Metrics).Start(0)
 	defer stopRuntime()
 
-	svc := serve.New(serve.Config{
-		Obs:             o,
-		Jobs:            *jobs,
-		MaxInFlight:     *maxInFlight,
-		CacheEntries:    *cacheEntries,
-		MaxTimeout:      *maxTimeout,
-		FlightDir:       *flightDir,
-		EnableProfiling: *pprofOn,
+	svc, err := serve.New(serve.Config{
+		Obs:               o,
+		Jobs:              *jobs,
+		MaxInFlight:       *maxInFlight,
+		CacheEntries:      *cacheEntries,
+		MaxTimeout:        *maxTimeout,
+		FlightDir:         *flightDir,
+		WALDir:            *walDir,
+		MaxCampaignPoints: *maxCampaignPoints,
+		CampaignWorkers:   *campaignWorkers,
+		EnableProfiling:   *pprofOn,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Boot-time recovery report: what the campaign WAL replayed, resumed
+	// and truncated — the operator's confirmation that a crash lost
+	// nothing.
+	if rec := svc.Recovery(); *walDir != "" {
+		log.Reportf("campaign WAL: %d record(s) replayed, %d campaign(s) known, %d resumed, %d completed point(s) restored\n",
+			rec.Records, rec.Campaigns, rec.Resumed, rec.DonePoints)
+		if rec.TruncatedBytes > 0 {
+			log.Reportf("campaign WAL: truncated %d torn byte(s) from the crash tail\n", rec.TruncatedBytes)
+		}
+		if rec.Corrupt {
+			log.Reportf("campaign WAL: CORRUPT mid-stream; campaign subsystem is read-only\n")
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

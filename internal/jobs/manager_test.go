@@ -1,0 +1,335 @@
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubExec is a deterministic, fault-injectable Executor: it returns
+// "body|<key>" for every point, fails the indices in fail for the first
+// failN calls, and can block an index until its gate (or the context)
+// closes.
+type stubExec struct {
+	mu    sync.Mutex
+	count map[int]int
+	fail  map[int]int // index → number of leading calls that fail (-1 = always)
+	gate  map[int]chan struct{}
+}
+
+func newStubExec() *stubExec {
+	return &stubExec{count: map[int]int{}, fail: map[int]int{}, gate: map[int]chan struct{}{}}
+}
+
+func pointBody(pt Point) []byte { return []byte("body|" + pt.Key) }
+
+func (e *stubExec) fn(ctx context.Context, pt Point) ([]byte, bool, error) {
+	e.mu.Lock()
+	e.count[pt.Index]++
+	n := e.count[pt.Index]
+	failN := e.fail[pt.Index]
+	gate := e.gate[pt.Index]
+	e.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if failN == -1 || n <= failN {
+		return nil, false, fmt.Errorf("injected failure %d for point %d", n, pt.Index)
+	}
+	return pointBody(pt), false, nil
+}
+
+func (e *stubExec) calls(idx int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count[idx]
+}
+
+// testSpec expands to 3 points (one server, three seeds) with no backoff,
+// so retry loops run fast.
+func testSpec() *SweepSpec {
+	return &SweepSpec{
+		Servers: []string{"Xeon-E5462"},
+		Seeds:   []float64{1, 2, 3},
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitState(t *testing.T, m *Manager, id, want string) *CampaignStatus {
+	t.Helper()
+	var st *CampaignStatus
+	waitFor(t, "campaign state "+want, func() bool {
+		var err error
+		st, err = m.Status(id, true)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", id, err)
+		}
+		return st.State == want
+	})
+	return st
+}
+
+func openTest(t *testing.T, cfg Config) (*Manager, *Recovery) {
+	t.Helper()
+	if cfg.FsyncEvery == 0 {
+		cfg.FsyncEvery = -1 // every append durable: crash tests depend on it
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	m, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, rec
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	exec := newStubExec()
+	m, _ := openTest(t, Config{Exec: exec.fn}) // volatile: no WAL dir
+	m.Start()
+	st, created, err := m.Submit(testSpec())
+	if err != nil || !created {
+		t.Fatalf("Submit = %v created=%v", err, created)
+	}
+	final := waitState(t, m, st.ID, StateDone)
+	if final.Counts.Done != 3 || final.Counts.Computed != 3 || final.Counts.Pending != 0 {
+		t.Errorf("counts %+v, want 3 done all computed", final.Counts)
+	}
+	for _, pt := range final.Points {
+		if pt.State != StatePointDone || pt.ResultSHA == "" {
+			t.Errorf("point %d: state %s sha %q", pt.Index, pt.State, pt.ResultSHA)
+		}
+	}
+	if got := len(m.List()); got != 1 {
+		t.Errorf("List has %d campaigns, want 1", got)
+	}
+	// Idempotent resubmission: same content address, same campaign.
+	again, created, err := m.Submit(testSpec())
+	if err != nil || created {
+		t.Fatalf("resubmit = %v created=%v, want existing campaign", err, created)
+	}
+	if again.ID != st.ID {
+		t.Errorf("resubmit returned %s, want %s", again.ID, st.ID)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	exec := newStubExec()
+	exec.fail[0] = 2 // first two attempts fail, third succeeds
+	m, _ := openTest(t, Config{Exec: exec.fn})
+	m.Start()
+	spec := testSpec()
+	spec.Retry.Attempts = 3
+	st, _, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, StateDone)
+	if final.Counts.Done != 3 || final.Counts.Quarantined != 0 {
+		t.Fatalf("counts %+v, want all done", final.Counts)
+	}
+	if got := exec.calls(0); got != 3 {
+		t.Errorf("point 0 executed %d times, want 3 (two failures + success)", got)
+	}
+	if final.Points[0].Attempts != 3 {
+		t.Errorf("point 0 attempts %d, want 3", final.Points[0].Attempts)
+	}
+}
+
+// A poison point must park as quarantined after the threshold without
+// blocking the rest of the campaign from completing.
+func TestPoisonPointQuarantined(t *testing.T) {
+	exec := newStubExec()
+	exec.fail[1] = -1 // always fails
+	m, _ := openTest(t, Config{Exec: exec.fn})
+	m.Start()
+	spec := testSpec()
+	spec.Retry.Attempts = 5
+	spec.QuarantineAfter = 2
+	st, _, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, StateDone)
+	if final.Counts.Done != 2 || final.Counts.Quarantined != 1 {
+		t.Fatalf("counts %+v, want 2 done + 1 quarantined", final.Counts)
+	}
+	if got := exec.calls(1); got != 2 {
+		t.Errorf("poison point executed %d times, want exactly the quarantine threshold 2", got)
+	}
+	if len(final.Quarantined) != 1 || final.Quarantined[0].Index != 1 {
+		t.Fatalf("quarantined list %+v, want point 1", final.Quarantined)
+	}
+	if final.Quarantined[0].Error == "" {
+		t.Error("quarantined point lost its last error")
+	}
+}
+
+func TestCancelParksPendingPoints(t *testing.T) {
+	exec := newStubExec()
+	for i := 0; i < 3; i++ {
+		exec.gate[i] = make(chan struct{}) // never closed: block until ctx
+	}
+	m, _ := openTest(t, Config{Exec: exec.fn, Workers: 1})
+	m.Start()
+	st, _, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "a point in flight", func() bool {
+		s, _ := m.Status(st.ID, false)
+		return s.Counts.Running >= 1
+	})
+	if _, err := m.Cancel(st.ID, "client request"); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, m, st.ID, StateCancelled)
+	waitFor(t, "in-flight point to unwind", func() bool {
+		s, _ := m.Status(st.ID, false)
+		return s.Counts.Running == 0 && s.Counts.Cancelled == 3
+	})
+	if final.Reason != "client request" {
+		t.Errorf("reason %q", final.Reason)
+	}
+	if _, err := m.Cancel("c-no-such", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cancel of unknown id = %v, want ErrNotFound", err)
+	}
+}
+
+// The tentpole's acceptance scenario at the manager level: a campaign is
+// interrupted mid-flight (abrupt Close, no checkpoint), a second manager
+// replays the WAL, and the campaign completes with byte-identical results
+// for the recovered points and zero re-execution of completed work.
+func TestCrashRecoveryResume(t *testing.T) {
+	dir := t.TempDir()
+	warm := map[string][]byte{}
+	var warmMu sync.Mutex
+
+	// Run 1: one point completes, the next blocks until the crash.
+	exec1 := newStubExec()
+	exec1.gate[1] = make(chan struct{})
+	exec1.gate[2] = make(chan struct{})
+	m1, _ := openTest(t, Config{Dir: dir, Exec: exec1.fn, Workers: 1})
+	m1.Start()
+	st, _, err := m1.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first point done", func() bool {
+		s, _ := m1.Status(st.ID, false)
+		return s.Counts.Done == 1
+	})
+	run1, _ := m1.Status(st.ID, true)
+	m1.Close() // abrupt: cancels in-flight work, no graceful drain
+
+	// Run 2: recovery must restore the completed point (warming the cache
+	// with its exact bytes) and resume only the unfinished ones.
+	exec2 := newStubExec()
+	m2, rec := openTest(t, Config{
+		Dir: dir, Exec: exec2.fn,
+		Warm: func(key string, body []byte) {
+			warmMu.Lock()
+			warm[key] = append([]byte(nil), body...)
+			warmMu.Unlock()
+		},
+	})
+	if rec.DonePoints != 1 || rec.Resumed != 1 || rec.Corrupt {
+		t.Fatalf("recovery %+v, want 1 done point in 1 resumed campaign", rec)
+	}
+	m2.Start()
+	final := waitState(t, m2, st.ID, StateDone)
+	if final.Counts.Done != 3 {
+		t.Fatalf("counts after resume %+v", final.Counts)
+	}
+	if got := exec2.calls(0); got != 0 {
+		t.Errorf("recovered point re-executed %d times; a journaled done point must never run again", got)
+	}
+	if exec2.calls(1) != 1 || exec2.calls(2) != 1 {
+		t.Errorf("unfinished points executed %d/%d times, want once each",
+			exec2.calls(1), exec2.calls(2))
+	}
+	// Byte-identical recovery: the resumed run reports the same result SHA
+	// the crashed run computed, and the warmer saw the exact bytes.
+	if run1.Points[0].ResultSHA != final.Points[0].ResultSHA {
+		t.Errorf("point 0 sha drifted across the crash: %s vs %s",
+			run1.Points[0].ResultSHA, final.Points[0].ResultSHA)
+	}
+	wantBody := pointBody(final.Points[0].toPoint())
+	warmMu.Lock()
+	got := warm[final.Points[0].Key]
+	warmMu.Unlock()
+	if string(got) != string(wantBody) {
+		t.Errorf("warmer got %q, want the journaled body %q", got, wantBody)
+	}
+	sum := sha256.Sum256(wantBody)
+	if final.Points[0].ResultSHA != hex.EncodeToString(sum[:]) {
+		t.Errorf("result sha is not the sha256 of the journaled body")
+	}
+}
+
+// toPoint rebuilds the immutable Point identity from a status row (test
+// convenience only).
+func (p PointStatus) toPoint() Point {
+	return Point{Index: p.Index, Method: p.Method, Server: p.Server,
+		Seed: p.Seed, Profile: p.Profile, Key: p.Key}
+}
+
+func TestShutdownThenSubmitFails(t *testing.T) {
+	exec := newStubExec()
+	m, _ := openTest(t, Config{Dir: t.TempDir(), Exec: exec.fn})
+	m.Start()
+	st, _, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	spec := testSpec()
+	spec.Name = "after-shutdown"
+	if _, _, err := m.Submit(spec); err == nil {
+		t.Error("Submit after Shutdown succeeded, want error")
+	}
+}
+
+func TestPurgeTerminalCampaign(t *testing.T) {
+	exec := newStubExec()
+	m, _ := openTest(t, Config{Exec: exec.fn})
+	m.Start()
+	st, _, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+	if err := m.Purge(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Status(st.ID, false); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Status after purge = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,129 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+)
+
+// Every invalid axis must answer with a *FieldError naming the offending
+// field — the HTTP layer maps these straight into 400 bodies, so the field
+// strings are API surface.
+func TestValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  SweepSpec
+		field string
+	}{
+		{"unknown method", SweepSpec{Methods: []string{"compare"}}, "methods[0]"},
+		{"unknown server", SweepSpec{Servers: []string{"PDP-11"}}, "servers[0]"},
+		{"unknown profile", SweepSpec{FaultProfiles: []string{"none", "apocalyptic"}}, "fault_profiles[1]"},
+		{"seeds and range", SweepSpec{Seeds: []float64{1}, SeedRange: &SeedRange{From: 1, To: 2, Step: 1}}, "seeds"},
+		{"bad step", SweepSpec{SeedRange: &SeedRange{From: 1, To: 2, Step: 0}}, "seed_range.step"},
+		{"inverted range", SweepSpec{SeedRange: &SeedRange{From: 5, To: 1, Step: 1}}, "seed_range.to"},
+		{"negative attempts", SweepSpec{Retry: RetrySpec{Attempts: -1}}, "retry.attempts"},
+		{"negative backoff", SweepSpec{Retry: RetrySpec{BackoffMS: -1}}, "retry.backoff_ms"},
+		{"negative quarantine", SweepSpec{QuarantineAfter: -2}, "quarantine_after"},
+		{"negative point timeout", SweepSpec{PointTimeoutMS: -1}, "point_timeout_ms"},
+		{"negative deadline", SweepSpec{DeadlineMS: -1}, "deadline_ms"},
+		{"too many points", SweepSpec{Servers: []string{"Xeon-E5462"}, Seeds: []float64{1, 2, 3}}, "seeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			maxPoints := 0
+			if tc.name == "too many points" {
+				maxPoints = 2
+			}
+			err := tc.spec.Validate(maxPoints)
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Validate = %v, want *FieldError", err)
+			}
+			if fe.Field != tc.field {
+				t.Errorf("field = %q, want %q", fe.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestValidateDefaultsPass(t *testing.T) {
+	var s SweepSpec // all defaults: evaluate × all servers × none × seed 1
+	if err := s.Validate(0); err != nil {
+		t.Fatalf("zero spec should validate: %v", err)
+	}
+}
+
+// Expansion is a pure function of the spec: same spec, same points, same
+// order, same keys. Recovery depends on this — the WAL journals the spec,
+// not the point list.
+func TestExpandDeterministic(t *testing.T) {
+	s := SweepSpec{
+		Methods:       []string{"evaluate", "green500"},
+		Servers:       []string{"Xeon-E5462", "Opteron-8347"},
+		FaultProfiles: []string{"none", "light"},
+		Seeds:         []float64{1, 2, 3},
+	}
+	if err := s.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Expand(), s.Expand()
+	if want := 2 * 2 * 2 * 3; len(a) != want {
+		t.Fatalf("expanded %d points, want %d", len(a), want)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Index != i {
+			t.Errorf("point %d has index %d", i, a[i].Index)
+		}
+		if a[i].Key == "" {
+			t.Errorf("point %d has empty cache key", i)
+		}
+	}
+	// Nesting order: methods outermost, seeds innermost.
+	if a[0].Method != "evaluate" || a[len(a)/2].Method != "green500" {
+		t.Errorf("method nesting order wrong: %q then %q", a[0].Method, a[len(a)/2].Method)
+	}
+	if a[0].Seed != 1 || a[1].Seed != 2 || a[2].Seed != 3 {
+		t.Errorf("seeds not innermost: %v %v %v", a[0].Seed, a[1].Seed, a[2].Seed)
+	}
+}
+
+func TestSeedRangeExpansion(t *testing.T) {
+	s := SweepSpec{
+		Servers:   []string{"Xeon-E5462"},
+		SeedRange: &SeedRange{From: 10, To: 12, Step: 1},
+	}
+	if err := s.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Expand()
+	if len(pts) != 3 {
+		t.Fatalf("expanded %d points, want 3", len(pts))
+	}
+	for i, want := range []float64{10, 11, 12} {
+		if pts[i].Seed != want {
+			t.Errorf("point %d seed %v, want %v", i, pts[i].Seed, want)
+		}
+	}
+}
+
+// Campaign ids are content addresses: equal specs collide (idempotent
+// submission), any changed axis separates.
+func TestIDContentAddressed(t *testing.T) {
+	a := SweepSpec{Servers: []string{"Xeon-E5462"}, Seeds: []float64{1, 2}}
+	b := SweepSpec{Servers: []string{"Xeon-E5462"}, Seeds: []float64{1, 2}}
+	if a.ID() != b.ID() {
+		t.Error("identical specs got different campaign ids")
+	}
+	c := b
+	c.Name = "other"
+	if a.ID() == c.ID() {
+		t.Error("differently named specs share a campaign id")
+	}
+	d := b
+	d.Seeds = []float64{1, 3}
+	if a.ID() == d.ID() {
+		t.Error("different seed lists share a campaign id")
+	}
+}

@@ -170,7 +170,10 @@ func TestCountersPreTouched(t *testing.T) {
 // Shutdown publishes how long the drain took.
 func TestDrainGauge(t *testing.T) {
 	o := obs.New()
-	s := New(Config{Obs: o, Jobs: 1})
+	s, err := New(Config{Obs: o, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}

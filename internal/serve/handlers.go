@@ -11,6 +11,7 @@ import (
 	"powerbench/internal/core"
 	"powerbench/internal/fault"
 	"powerbench/internal/flight"
+	"powerbench/internal/jobs"
 	"powerbench/internal/server"
 )
 
@@ -38,16 +39,24 @@ type CompareRequest struct {
 	TimeoutMS    int            `json:"timeout_ms,omitempty"`
 }
 
-// httpError carries a status code through the decode/resolve helpers.
+// httpError carries a status code — and, for validation failures, the
+// offending request field — through the decode/resolve helpers.
 type httpError struct {
 	status int
 	msg    string
+	field  string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// badField is badRequest with the machine-usable field name clients need
+// to pinpoint which part of their sweep or evaluate body was rejected.
+func badField(field, format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...), field: field}
 }
 
 // decode parses a JSON request body strictly: bounded size, unknown fields
@@ -70,37 +79,39 @@ func (s *Server) decode(w http.ResponseWriter, req *http.Request, v any) error {
 func resolveSpec(name string, spec *server.Spec) (*server.Spec, error) {
 	switch {
 	case name != "" && spec != nil:
-		return nil, badRequest("request sets both server and spec; choose one")
+		return nil, badField("server", "request sets both server and spec; choose one")
 	case spec != nil:
 		if err := spec.Validate(); err != nil {
-			return nil, badRequest("invalid spec: %v", err)
+			return nil, badField("spec", "invalid spec: %v", err)
 		}
 		return spec, nil
 	case name != "":
 		sp, err := server.ByName(name)
 		if err != nil {
-			return nil, &httpError{status: http.StatusNotFound, msg: err.Error()}
+			return nil, &httpError{status: http.StatusNotFound, msg: err.Error(), field: "server"}
 		}
 		return sp, nil
 	default:
-		return nil, badRequest("request must set server (built-in name) or spec (custom)")
+		return nil, badField("server", "request must set server (built-in name) or spec (custom)")
 	}
 }
 
-// resolveProfile validates the request's fault profile name.
+// resolveProfile validates the request's fault profile name; an unknown
+// profile is a client mistake (400 naming the field), never a 500.
 func resolveProfile(name string) (*fault.Profile, error) {
 	p, err := fault.Parse(name)
 	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, badField("fault_profile", "%v", err)
 	}
 	return p, nil
 }
 
-// fail writes an error response, mapping httpError statuses through.
+// fail writes an error response, mapping httpError statuses and field
+// names through.
 func fail(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
-		writeError(w, he.status, he.msg)
+		writeFieldError(w, he.status, he.msg, he.field)
 		return
 	}
 	writeError(w, http.StatusInternalServerError, err.Error())
@@ -190,15 +201,15 @@ func (s *Server) handleCompare(w http.ResponseWriter, req *http.Request) {
 // empty selection compares every built-in server.
 func resolveSpecs(names []string, specs []*server.Spec) ([]*server.Spec, error) {
 	if len(names) > 0 && len(specs) > 0 {
-		return nil, badRequest("request sets both servers and specs; choose one")
+		return nil, badField("servers", "request sets both servers and specs; choose one")
 	}
 	if len(specs) > 0 {
-		for _, sp := range specs {
+		for i, sp := range specs {
 			if sp == nil {
-				return nil, badRequest("specs contains a null entry")
+				return nil, badField(fmt.Sprintf("specs[%d]", i), "specs contains a null entry")
 			}
 			if err := sp.Validate(); err != nil {
-				return nil, badRequest("invalid spec: %v", err)
+				return nil, badField(fmt.Sprintf("specs[%d]", i), "invalid spec: %v", err)
 			}
 		}
 		return specs, nil
@@ -210,7 +221,7 @@ func resolveSpecs(names []string, specs []*server.Spec) ([]*server.Spec, error) 
 	for i, name := range names {
 		sp, err := server.ByName(name)
 		if err != nil {
-			return nil, &httpError{status: http.StatusNotFound, msg: err.Error()}
+			return nil, &httpError{status: http.StatusNotFound, msg: err.Error(), field: fmt.Sprintf("servers[%d]", i)}
 		}
 		out[i] = sp
 	}
@@ -240,6 +251,9 @@ type healthResponse struct {
 	Inflight int            `json:"inflight"`
 	Cache    storeOccupancy `json:"cache"`
 	Traces   storeOccupancy `json:"traces"`
+	// Jobs is the campaign subsystem's block: queue depth, active
+	// campaigns, WAL segment count and the read-only degradation flag.
+	Jobs *jobs.Health `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -249,9 +263,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Inflight: len(s.admit),
 		Cache:    storeOccupancy{Entries: s.cache.Len(), Bytes: s.cache.Bytes()},
 		Traces:   storeOccupancy{Entries: s.traces.Len(), Bytes: s.traces.Bytes()},
+		Jobs:     s.jobsHealth(),
 	}
 	if h.Draining {
 		h.Status = "draining"
+	}
+	if h.Jobs != nil && h.Jobs.ReadOnly {
+		h.Status = "degraded"
 	}
 	body, err := marshalBody(h)
 	if err != nil {

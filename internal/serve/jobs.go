@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"powerbench/internal/fault"
+	"powerbench/internal/flight"
+	"powerbench/internal/jobs"
+	"powerbench/internal/server"
+)
+
+// This file is the HTTP face of the durable campaign subsystem
+// (internal/jobs): sweep submission, status, cancellation and SSE
+// progress. The executor seam below is where a campaign point re-enters
+// the same cache → dedup → compute path interactive requests use, so a
+// point completed by either side is a cache hit for the other.
+
+// handleJobSubmit accepts a declarative sweep spec, expands and journals
+// it, and answers 202 with the campaign status. Submission is idempotent
+// on the spec's content address: a repeat answers 200 with the existing
+// campaign. A degraded (read-only) WAL answers 503 — accepting a campaign
+// whose acceptance cannot be journaled would silently drop it on the next
+// restart.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec jobs.SweepSpec
+	if err := s.decode(w, req, &spec); err != nil {
+		fail(w, err)
+		return
+	}
+	st, created, err := s.jobs.Submit(&spec)
+	if err != nil {
+		var fe *jobs.FieldError
+		switch {
+		case errors.As(err, &fe):
+			writeFieldError(w, http.StatusBadRequest, fe.Msg, fe.Field)
+		case errors.Is(err, jobs.ErrReadOnly):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	body, err := marshalBody(st)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBody(w, status, "", body)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	body, err := marshalBody(struct {
+		Campaigns []jobs.Summary `json:"campaigns"`
+	}{s.jobs.List()})
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "", body)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, req *http.Request) {
+	st, err := s.jobs.Status(req.PathValue("id"), req.URL.Query().Get("points") != "")
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	body, err := marshalBody(st)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "", body)
+}
+
+// handleJobDelete cancels a live campaign or purges a terminal one — the
+// natural reading of DELETE for each state.
+func (s *Server) handleJobDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	st, err := s.jobs.Cancel(id, "client request")
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if st.State == jobs.StateDone {
+		// Already finished before the cancel landed: purge instead.
+		if err := s.jobs.Purge(id); err == nil {
+			writeBody(w, http.StatusOK, "", errorBodyMsg("campaign purged"))
+			return
+		}
+	}
+	body, err := marshalBody(st)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, "", body)
+}
+
+func errorBodyMsg(msg string) []byte {
+	b, _ := json.Marshal(struct {
+		Status string `json:"status"`
+	}{msg})
+	return append(b, '\n')
+}
+
+// handleJobEvents streams campaign progress as server-sent events: one
+// `event:`/`data:` pair per state transition, ending with the terminal
+// campaign event. A client that connects after completion still gets the
+// terminal snapshot.
+func (s *Server) handleJobEvents(w http.ResponseWriter, req *http.Request) {
+	ch, cancel, err := s.jobs.Subscribe(req.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// execPoint is the campaign executor: the cache → dedup → compute path of
+// serveComputed, minus the HTTP framing and the interactive admission
+// gate (campaign concurrency is bounded by the jobs worker pool instead,
+// so background sweeps cannot starve interactive traffic of its 429
+// budget, and vice versa).
+func (s *Server) execPoint(ctx context.Context, pt jobs.Point) ([]byte, bool, error) {
+	if body, ok := s.cache.Get(pt.Key); ok {
+		s.obs.Counter("serve_cache_hits_total").Inc()
+		return body, true, nil
+	}
+	// Share any live interactive flight for the same key rather than
+	// computing beside it.
+	if f := s.flights.join(pt.Key); f != nil {
+		s.obs.Counter("serve_dedup_joined_total").Inc()
+		select {
+		case <-f.done:
+			if f.status == http.StatusOK {
+				return f.body, true, nil
+			}
+			return nil, false, fmt.Errorf("shared computation failed (status %d)", f.status)
+		case <-ctx.Done():
+			s.flights.leave(f)
+			return nil, false, ctx.Err()
+		}
+	}
+	sp, err := server.ByName(pt.Server)
+	if err != nil {
+		return nil, false, err
+	}
+	profile, err := fault.Parse(pt.Profile)
+	if err != nil {
+		return nil, false, err
+	}
+	rec := flight.NewRecorder(0)
+	var v any
+	switch pt.Method {
+	case "green500":
+		v, err = s.g500Fn(ctx, sp, pt.Seed, s.opts(profile, rec))
+	default:
+		v, err = s.evalFn(ctx, sp, pt.Seed, s.opts(profile, rec))
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	body, err := marshalBody(v)
+	if err != nil {
+		return nil, false, err
+	}
+	evicted := s.cache.Put(pt.Key, body)
+	s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
+	s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
+	s.storeFlight(flightID(pt.Key), rec)
+	return body, false, nil
+}
+
+// jobsHealth returns the /healthz jobs block.
+func (s *Server) jobsHealth() *jobs.Health {
+	if s.jobs == nil {
+		return nil
+	}
+	h := s.jobs.Health()
+	return &h
+}

@@ -45,6 +45,7 @@ import (
 
 	"powerbench/internal/core"
 	"powerbench/internal/flight"
+	"powerbench/internal/jobs"
 	"powerbench/internal/obs"
 	"powerbench/internal/sched"
 	"powerbench/internal/server"
@@ -89,6 +90,22 @@ type Config struct {
 	// zero value selects the obs defaults (99.9% availability, 99% of
 	// requests under 500 ms, 5m/1h windows).
 	SLO obs.SLOConfig
+	// WALDir enables durable sweep campaigns: every POST /v1/jobs state
+	// transition journals to a CRC-checked segmented WAL under this
+	// directory and a restart resumes unfinished campaigns. Empty keeps
+	// the campaign subsystem volatile (campaigns die with the process).
+	WALDir string
+	// CampaignWorkers bounds concurrently executing campaign points (0
+	// selects 2) — a separate budget from MaxInFlight so background
+	// sweeps and interactive traffic cannot starve each other.
+	CampaignWorkers int
+	// MaxCampaignPoints bounds one campaign's expansion (0 selects 10000).
+	MaxCampaignPoints int
+	// WALFsyncEvery is the WAL group-commit cadence (0 selects 5ms;
+	// negative fsyncs every append).
+	WALFsyncEvery time.Duration
+	// WALSegmentBytes bounds one WAL segment file (0 selects 4 MiB).
+	WALSegmentBytes int64
 }
 
 func (c Config) maxInFlight() int {
@@ -158,6 +175,10 @@ type Server struct {
 	flightRecs *resultCache
 	// traces is the tail-sampled trace store behind GET /v1/traces.
 	traces *traceStore
+	// jobs is the durable campaign manager behind POST /v1/jobs.
+	jobs *jobs.Manager
+	// recovery summarizes what the jobs WAL replayed at boot.
+	recovery jobs.Recovery
 	// draining flips once shutdown starts; /healthz reports it so load
 	// balancers stop routing before the listener closes.
 	draining atomic.Bool
@@ -181,8 +202,9 @@ type Server struct {
 	cmpFn  func(ctx context.Context, specs []*server.Spec, seed float64, opts core.EvalOptions) (*core.Comparison, error)
 }
 
-// New builds the service.
-func New(cfg Config) *Server {
+// New builds the service. The only failure mode is a WAL directory
+// (Config.WALDir) that cannot be opened or replayed.
+func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -226,6 +248,31 @@ func New(cfg Config) *Server {
 	} {
 		s.obs.Counter(name)
 	}
+	// The campaign manager shares the service's cache and pipeline seams:
+	// its executor is the same cache → dedup → compute path interactive
+	// requests take, and WAL recovery pre-warms the result cache with the
+	// journaled bodies of every completed point.
+	mgr, rec, err := jobs.Open(jobs.Config{
+		Obs:             cfg.Obs,
+		Dir:             cfg.WALDir,
+		Workers:         cfg.CampaignWorkers,
+		MaxPoints:       cfg.MaxCampaignPoints,
+		SegmentBytes:    cfg.WALSegmentBytes,
+		FsyncEvery:      cfg.WALFsyncEvery,
+		MaxPointTimeout: cfg.maxTimeout(),
+		Exec:            s.execPoint,
+		Warm: func(key string, body []byte) {
+			s.cache.Put(key, body)
+		},
+	})
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.jobs = mgr
+	s.recovery = *rec
+	mgr.Start()
+
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/evaluate", "/v1/evaluate", s.handleEvaluate)
 	s.route("POST /v1/green500", "/v1/green500", s.handleGreen500)
@@ -234,6 +281,14 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/flights/{id}", "/v1/flights", s.handleFlight)
 	s.route("GET /v1/traces", "/v1/traces", s.handleTraces)
 	s.route("GET /v1/traces/{id}", "/v1/traces", s.handleTrace)
+	s.route("POST /v1/jobs", "/v1/jobs", s.handleJobSubmit)
+	s.route("GET /v1/jobs", "/v1/jobs", s.handleJobList)
+	s.route("GET /v1/jobs/{id}", "/v1/jobs", s.handleJobStatus)
+	s.route("DELETE /v1/jobs/{id}", "/v1/jobs", s.handleJobDelete)
+	// SSE bypasses the metrics/SLO middleware: those wrappers don't
+	// forward http.Flusher, and a long-lived stream would poison the
+	// latency histograms anyway.
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.HTTPMetrics(s.obs, "/metrics", s.metricsHandler()))
 	if cfg.EnableProfiling {
@@ -245,8 +300,15 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
+
+// Recovery reports what the jobs WAL replayed at boot (zero value when
+// WALDir was unset or the journal was empty).
+func (s *Server) Recovery() jobs.Recovery { return s.recovery }
+
+// Jobs exposes the campaign manager (tests and the daemon's boot log).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // route registers a handler wrapped in the obs HTTP middleware under a
 // fixed route label, with SLO outcome tracking on the API routes.
@@ -307,6 +369,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	defer func() {
 		s.obs.Gauge("serve_drain_seconds").Set(time.Since(start).Seconds())
 	}()
+	// Drain the campaign workers first: in-flight points finish and
+	// journal their outcomes, then the WAL commits its checkpoint — the
+	// half of the drain a restart actually depends on.
+	jerr := s.jobs.Shutdown(ctx)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -314,7 +380,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return jerr
 	case <-ctx.Done():
 		s.cancelBase()
 		<-done
@@ -325,6 +391,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close cancels outstanding computations and waits for them to unwind.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.jobs.Close()
 	s.cancelBase()
 	s.wg.Wait()
 }
@@ -529,6 +596,20 @@ func errorBody(msg string) []byte {
 	return append(b, '\n')
 }
 
+// fieldErrorBody is errorBody plus the offending request field, so a
+// client can programmatically map a 400 back to its input instead of
+// parsing prose.
+func fieldErrorBody(msg, field string) []byte {
+	if field == "" {
+		return errorBody(msg)
+	}
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}{msg, field})
+	return append(b, '\n')
+}
+
 func writeBody(w http.ResponseWriter, status int, how string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	if how != "" {
@@ -540,4 +621,8 @@ func writeBody(w http.ResponseWriter, status int, how string, body []byte) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeBody(w, status, "", errorBody(msg))
+}
+
+func writeFieldError(w http.ResponseWriter, status int, msg, field string) {
+	writeBody(w, status, "", fieldErrorBody(msg, field))
 }

@@ -31,7 +31,10 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Jobs == 0 {
 		cfg.Jobs = 2
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }
@@ -331,7 +334,10 @@ func TestDeadline504NoGoroutineLeak(t *testing.T) {
 // Shutdown waits for in-flight computations to settle before returning.
 func TestShutdownDrains(t *testing.T) {
 	o := obs.New()
-	s := New(Config{Obs: o, Jobs: 1})
+	s, err := New(Config{Obs: o, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	s.evalFn = func(ctx context.Context, spec *server.Spec, seed float64, opts core.EvalOptions) (*core.Evaluation, error) {
 		<-release
