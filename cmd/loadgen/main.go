@@ -10,7 +10,20 @@
 //	loadgen -url http://127.0.0.1:8080 [-endpoint /v1/evaluate]
 //	        [-server name] [-seed n] [-body json] [-n 1000] [-c 8]
 //	        [-vary-seeds] [-no-warm] [-timeout d] [-slow n]
+//	loadgen -targets s0=http://h:7411,s1=http://h:7412,s2=http://h:7413
+//	        [-route rr|affinity] [...]
 //	loadgen -url http://127.0.0.1:8080 -campaign sweep.json [-poll d]
+//
+// -targets spreads the run over a powerbenchd cluster. Each entry is
+// id=url (bare urls work too; the id then defaults to the url). -route rr
+// rotates requests across the targets; -route affinity computes each
+// request's canonical cache key and sends it to the shard the cluster's
+// consistent-hash ring assigns it to, so every request lands where its
+// cache entry lives (the ids must match the daemons' -shard-id values). A
+// transport error fails over to the next target, so killing one shard
+// mid-run costs latency, not failed requests. The digest gains a
+// per-target block and a cluster-wide cache split including peer-served
+// responses.
 //
 // By default one untimed warm-up request populates the daemon's cache so
 // the timed run measures steady-state (cache-hit) serving; -no-warm and
@@ -26,6 +39,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,13 +52,116 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"powerbench/internal/cluster"
+	"powerbench/internal/core"
+	"powerbench/internal/server"
 )
 
 type result struct {
-	status  int // 0 = transport error
-	cache   string
-	trace   string // X-Powerbench-Trace response header
-	latency time.Duration
+	status   int // 0 = transport error on every candidate target
+	cache    string
+	trace    string // X-Powerbench-Trace response header
+	peer     string // X-Powerbench-Peer response header
+	target   string // shard id that answered
+	failover bool   // a dead target was skipped to get this answer
+	latency  time.Duration
+}
+
+// target is one cluster member the generator can dial.
+type target struct {
+	id, url string
+}
+
+// parseTargets parses -targets: comma-separated id=url entries (a bare url
+// is its own id). Empty falls back to the single -url target.
+func parseTargets(v, fallback string) ([]target, error) {
+	if v == "" {
+		return []target{{id: "", url: strings.TrimSuffix(fallback, "/")}}, nil
+	}
+	var out []target
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(v, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, found := strings.Cut(entry, "=")
+		if !found {
+			id, url = entry, entry
+		}
+		if id == "" || url == "" {
+			return nil, fmt.Errorf("-targets entry %q is not id=url", entry)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("-targets lists shard id %q twice", id)
+		}
+		seen[id] = true
+		out = append(out, target{id: id, url: strings.TrimSuffix(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets lists no targets")
+	}
+	return out, nil
+}
+
+// router orders the candidate targets for one request: the routing
+// policy's primary first, then the rest for transport-error failover.
+type router struct {
+	targets []target
+	ring    *cluster.Ring // nil in round-robin mode
+}
+
+func newRouter(targets []target, mode string) (*router, error) {
+	r := &router{targets: targets}
+	switch mode {
+	case "rr":
+	case "affinity":
+		ids := make([]string, len(targets))
+		for i, t := range targets {
+			ids[i] = t.id
+		}
+		r.ring = cluster.NewRing(ids, 0)
+	default:
+		return nil, fmt.Errorf("-route %q (want rr or affinity)", mode)
+	}
+	return r, nil
+}
+
+// order returns target indexes for request i with affinity key key.
+func (r *router) order(i int, key string) []int {
+	n := len(r.targets)
+	start := i % n
+	if r.ring != nil {
+		owner := r.ring.Owner(key)
+		for idx, t := range r.targets {
+			if t.id == owner {
+				start = idx
+				break
+			}
+		}
+	}
+	out := make([]int, n)
+	for j := range out {
+		out[j] = (start + j) % n
+	}
+	return out
+}
+
+// affinityKey reproduces the daemon's canonical cache key for a generated
+// evaluate/green500 body, so -route affinity sends each request to the
+// shard that owns its cache entry. Raw -body payloads and other endpoints
+// fall back to a body hash: still a stable target per request, just not
+// cache-aligned.
+func affinityKey(endpoint, rawBody, serverName string, seed float64) string {
+	method := strings.TrimPrefix(endpoint, "/v1/")
+	if rawBody == "" && (method == "evaluate" || method == "green500") {
+		if spec, err := server.ByName(serverName); err == nil {
+			return method + "|" + core.CanonicalHash(spec, seed, core.HashOpts{Method: method})
+		}
+	}
+	sum := sha256.Sum256([]byte(endpoint + "|" + rawBody + "|" + serverName + "|" + fmt.Sprint(seed)))
+	return "body|" + hex.EncodeToString(sum[:])
 }
 
 func buildBody(body, server string, seed float64, vary bool, i int) string {
@@ -73,6 +191,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slow := fs.Int("slow", 3, "list the trace ids of the N slowest responses in the summary")
 	campaign := fs.String("campaign", "", "submit this sweep-spec JSON file (\"-\" = stdin) to /v1/jobs and watch it to completion")
 	poll := fs.Duration("poll", 250*time.Millisecond, "campaign watch poll interval")
+	targetsFlag := fs.String("targets", "", "cluster targets as id=url,... (overrides -url for the timed run)")
+	route := fs.String("route", "rr", "multi-target routing: rr (rotate) or affinity (follow the cluster's hash ring)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,34 +203,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: -n and -c must be at least 1")
 		return 2
 	}
+	targets, err := parseTargets(*targetsFlag, *baseURL)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
+	rtr, err := newRouter(targets, *route)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 2
+	}
 
-	target := strings.TrimSuffix(*baseURL, "/") + *endpoint
 	get := strings.HasPrefix(*endpoint, "/healthz") ||
 		strings.HasPrefix(*endpoint, "/metrics") ||
 		strings.HasPrefix(*endpoint, "/v1/servers")
 	client := &http.Client{
 		Timeout: *timeout,
 		Transport: &http.Transport{
-			MaxIdleConns:        *c,
+			MaxIdleConns:        *c * len(targets),
 			MaxIdleConnsPerHost: *c,
 		},
 	}
 
-	shoot := func(i int) result {
+	// shootAt issues one request against a specific target.
+	shootAt := func(t target, reqBody string) result {
 		var (
 			resp *http.Response
 			err  error
 		)
 		start := time.Now()
 		if get {
-			resp, err = client.Get(target)
+			resp, err = client.Get(t.url + *endpoint)
 		} else {
-			resp, err = client.Post(target, "application/json",
-				strings.NewReader(buildBody(*body, *serverName, *seed, *varySeeds, i)))
+			resp, err = client.Post(t.url+*endpoint, "application/json", strings.NewReader(reqBody))
 		}
 		lat := time.Since(start)
 		if err != nil {
-			return result{latency: lat}
+			return result{latency: lat, target: t.id}
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -118,14 +247,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			status:  resp.StatusCode,
 			cache:   resp.Header.Get("X-Powerbench-Cache"),
 			trace:   resp.Header.Get("X-Powerbench-Trace"),
+			peer:    resp.Header.Get("X-Powerbench-Peer"),
+			target:  t.id,
 			latency: lat,
 		}
 	}
 
+	// shoot routes request i and fails over across the remaining targets on
+	// transport errors — a shard dying mid-run costs latency, not failures.
+	shoot := func(i int) result {
+		reqBody := buildBody(*body, *serverName, *seed, *varySeeds, i)
+		s := *seed
+		if *varySeeds {
+			s += float64(i)
+		}
+		order := rtr.order(i, affinityKey(*endpoint, *body, *serverName, s))
+		var last result
+		for attempt, idx := range order {
+			last = shootAt(targets[idx], reqBody)
+			if last.status != 0 {
+				last.failover = attempt > 0
+				return last
+			}
+		}
+		return last
+	}
+
 	if !*noWarm && !*varySeeds {
-		if r := shoot(0); r.status == 0 {
-			fmt.Fprintf(stderr, "loadgen: warm-up request to %s failed (is powerbenchd running?)\n", target)
-			return 1
+		// Warm every target: the steady state being measured is each
+		// shard's cache (or its peer path) populated.
+		for i, t := range targets {
+			if r := shootAt(t, buildBody(*body, *serverName, *seed, *varySeeds, i)); r.status == 0 {
+				fmt.Fprintf(stderr, "loadgen: warm-up request to %s%s failed (is powerbenchd running?)\n", t.url, *endpoint)
+				return 1
+			}
 		}
 	}
 
@@ -149,19 +304,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Aggregate.
+	// Aggregate: cluster-wide, plus a per-target split in multi-target runs.
 	statuses := map[int]int{}
 	caches := map[string]int{}
+	type targetStats struct {
+		requests, errs int
+		caches         map[string]int
+	}
+	perTarget := map[string]*targetStats{}
 	lats := make([]time.Duration, 0, *n)
-	transportErrs := 0
+	transportErrs, failovers := 0, 0
 	for _, r := range results {
+		ts := perTarget[r.target]
+		if ts == nil {
+			ts = &targetStats{caches: map[string]int{}}
+			perTarget[r.target] = ts
+		}
+		ts.requests++
+		if r.failover {
+			failovers++
+		}
 		if r.status == 0 {
 			transportErrs++
+			ts.errs++
 			continue
 		}
 		statuses[r.status]++
 		if r.cache != "" {
 			caches[r.cache]++
+			ts.caches[r.cache]++
 		}
 		lats = append(lats, r.latency)
 	}
@@ -181,8 +352,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	ms := func(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000) }
 
+	dest := targets[0].url + *endpoint
+	if len(targets) > 1 {
+		dest = fmt.Sprintf("%d targets (%s routing)%s", len(targets), *route, *endpoint)
+	}
 	fmt.Fprintf(stdout, "loadgen: %d requests to %s, concurrency %d, %.3fs elapsed\n",
-		*n, target, *c, elapsed.Seconds())
+		*n, dest, *c, elapsed.Seconds())
 	fmt.Fprintf(stdout, "throughput: %.1f req/s\n", float64(*n)/elapsed.Seconds())
 	if len(lats) > 0 {
 		fmt.Fprintf(stdout, "latency: min %s  p50 %s  p90 %s  p99 %s  max %s\n",
@@ -202,11 +377,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "status: %s\n", strings.Join(parts, ", "))
 	if len(caches) > 0 {
-		fmt.Fprintf(stdout, "cache: hit %d, miss %d, dedup %d\n",
-			caches["hit"], caches["miss"], caches["dedup"])
+		fmt.Fprintf(stdout, "cache: hit %d, miss %d, dedup %d, peer %d\n",
+			caches["hit"], caches["miss"], caches["dedup"], caches["peer"])
+	}
+	if len(targets) > 1 {
+		for _, t := range targets {
+			ts := perTarget[t.id]
+			if ts == nil {
+				fmt.Fprintf(stdout, "target %s: 0 requests\n", t.id)
+				continue
+			}
+			line := fmt.Sprintf("target %s: %d requests, hit %d, miss %d, dedup %d, peer %d",
+				t.id, ts.requests, ts.caches["hit"], ts.caches["miss"], ts.caches["dedup"], ts.caches["peer"])
+			if ts.errs > 0 {
+				line += fmt.Sprintf(", transport-error %d", ts.errs)
+			}
+			fmt.Fprintln(stdout, line)
+		}
+		if failovers > 0 {
+			fmt.Fprintf(stdout, "failover: %d request(s) rerouted around dead targets\n", failovers)
+		}
 	}
 	writeTraceDigest(stdout, results, *slow)
-	writeJobsDigest(stdout, client, *baseURL)
+	writeJobsDigest(stdout, client, targets[0].url)
 	if transportErrs > 0 {
 		return 1
 	}

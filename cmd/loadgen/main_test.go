@@ -233,3 +233,104 @@ func TestLoadgenCampaignRejected(t *testing.T) {
 		t.Errorf("rejection message missing the field name: %s", stderr.String())
 	}
 }
+
+// countingTarget is a stub shard that records how many requests it served.
+func countingTarget(t *testing.T, id string, n *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		n.Add(1)
+		w.Header().Set("X-Powerbench-Cache", "hit")
+		w.Header().Set("X-Powerbench-Peer", id)
+		w.Write([]byte("{}"))
+	}))
+}
+
+// -targets with rr routing rotates requests evenly and reports a
+// per-target block plus the cluster-wide cache split.
+func TestLoadgenMultiTargetRoundRobin(t *testing.T) {
+	var na, nb atomic.Int64
+	a := countingTarget(t, "s0", &na)
+	defer a.Close()
+	b := countingTarget(t, "s1", &nb)
+	defer b.Close()
+
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-targets", "s0=" + a.URL + ",s1=" + b.URL,
+		"-n", "10", "-c", "1", "-no-warm"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
+	}
+	if na.Load() != 5 || nb.Load() != 5 {
+		t.Errorf("rr split %d/%d, want 5/5", na.Load(), nb.Load())
+	}
+	out := stdout.String()
+	for _, want := range []string{"2 targets (rr routing)", "target s0: 5 requests", "target s1: 5 requests", "peer 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// -route affinity pins one generated request body to one target: every
+// identical request lands on the shard the ring assigns the key to.
+func TestLoadgenAffinityRouting(t *testing.T) {
+	var na, nb atomic.Int64
+	a := countingTarget(t, "s0", &na)
+	defer a.Close()
+	b := countingTarget(t, "s1", &nb)
+	defer b.Close()
+
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-targets", "s0=" + a.URL + ",s1=" + b.URL,
+		"-route", "affinity", "-n", "8", "-c", "2", "-no-warm"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
+	}
+	// One fixed body = one key = one owner; all 8 requests on one shard.
+	if !(na.Load() == 8 && nb.Load() == 0) && !(na.Load() == 0 && nb.Load() == 8) {
+		t.Errorf("affinity split %d/%d, want 8/0 or 0/8", na.Load(), nb.Load())
+	}
+}
+
+// A dead target is failed over, not failed: every request still answers
+// and the digest reports the reroutes.
+func TestLoadgenMultiTargetFailover(t *testing.T) {
+	var nb atomic.Int64
+	b := countingTarget(t, "s1", &nb)
+	defer b.Close()
+
+	var stdout, stderr bytes.Buffer
+	rc := run([]string{"-targets", "s0=http://127.0.0.1:1,s1=" + b.URL,
+		"-n", "6", "-c", "1", "-no-warm"}, &stdout, &stderr)
+	if rc != 0 {
+		t.Fatalf("exit code %d; stderr: %s", rc, stderr.String())
+	}
+	if nb.Load() != 6 {
+		t.Errorf("live target served %d, want all 6", nb.Load())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "status: 200 x 6") {
+		t.Errorf("failover left failed requests:\n%s", out)
+	}
+	if !strings.Contains(out, "failover: 3 request(s)") {
+		t.Errorf("report missing the failover count:\n%s", out)
+	}
+}
+
+// Malformed -targets and -route values are usage errors.
+func TestLoadgenTargetFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-targets", "=http://x"},
+		{"-targets", "a=http://x,a=http://y"},
+		{"-targets", "a=http://x", "-route", "nope"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if rc := run(args, &stdout, &stderr); rc != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, rc)
+		}
+	}
+}

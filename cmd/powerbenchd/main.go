@@ -7,6 +7,7 @@
 //	            [-cache-entries n] [-max-timeout d]
 //	            [-flight-dir dir] [-pprof]
 //	            [-wal-dir dir] [-max-campaign-points n] [-campaign-workers n]
+//	            [-shard-id id -peers id=url,... ] [-peer-timeout d] [-ring-vnodes n]
 //	            [-v] [-q] [-metrics-out file] [-trace-out file]
 //
 // Endpoints:
@@ -23,6 +24,15 @@
 //	GET  /metrics               Prometheus exposition of the live registry
 //	GET  /healthz               liveness probe (+ campaign/WAL block)
 //	GET  /debug/pprof/          live CPU/heap/goroutine profiles (with -pprof)
+//
+// With -peers set, N daemons run as one sharded cluster (DESIGN.md §14):
+// a deterministic consistent-hash ring over the cache keys assigns each
+// request an owning shard, cache misses try a bounded peer fetch from the
+// owner before computing, off-owner computations are forwarded back, and a
+// health loop with hysteresis degrades the whole thing to local compute
+// when peers die. -peers takes the full static membership — every entry is
+// id=url, the value may be @file to read the same list from a file, and
+// -shard-id names this process's entry (its url may be omitted).
 //
 // With -wal-dir set, campaigns are durable: every state transition is
 // journaled to a CRC-checked segmented write-ahead log, and a crashed
@@ -54,12 +64,69 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"powerbench/internal/cluster"
 	"powerbench/internal/obs"
 	"powerbench/internal/serve"
 )
+
+// buildCluster turns the -peers/-shard-id flags into a cluster, or nil for
+// a standalone daemon (the serve layer then runs a cluster of one).
+func buildCluster(peersFlag, shardID string, peerTimeout time.Duration, vnodes int, o *obs.Obs) (*cluster.Cluster, error) {
+	if peersFlag == "" {
+		if shardID != "" {
+			return nil, errors.New("-shard-id is set but -peers is empty")
+		}
+		return nil, nil
+	}
+	if shardID == "" {
+		return nil, errors.New("-peers requires -shard-id (which member is this process?)")
+	}
+	peers, err := parsePeers(peersFlag)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		Self:         shardID,
+		Peers:        peers,
+		PeerTimeout:  peerTimeout,
+		VirtualNodes: vnodes,
+		Obs:          o,
+	})
+}
+
+// parsePeers parses the -peers value: comma- (or, from an @file,
+// newline-) separated id=url entries; a bare id is allowed for the entry
+// whose url no one needs (self). Lines starting with # in an @file are
+// comments.
+func parsePeers(v string) ([]cluster.Peer, error) {
+	if strings.HasPrefix(v, "@") {
+		b, err := os.ReadFile(v[1:])
+		if err != nil {
+			return nil, fmt.Errorf("-peers %s: %w", v, err)
+		}
+		v = strings.ReplaceAll(string(b), "\n", ",")
+	}
+	var peers []cluster.Peer
+	for _, entry := range strings.Split(v, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" || strings.HasPrefix(entry, "#") {
+			continue
+		}
+		id, url, _ := strings.Cut(entry, "=")
+		if id == "" {
+			return nil, fmt.Errorf("-peers entry %q has no shard id", entry)
+		}
+		peers = append(peers, cluster.Peer{ID: id, URL: url})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers lists no members")
+	}
+	return peers, nil
+}
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("powerbenchd", flag.ContinueOnError)
@@ -75,6 +142,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxCampaignPoints := fs.Int("max-campaign-points", 0, "largest allowed campaign expansion (0 = 10000)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "concurrently executing campaign points (0 = 2)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	shardID := fs.String("shard-id", "", "this process's shard id within -peers (required with -peers)")
+	peersFlag := fs.String("peers", "", "static cluster membership as id=url,... (self's url optional); @file reads the list from a file")
+	peerTimeout := fs.Duration("peer-timeout", 0, "budget for one peer cache fetch (0 = 250ms)")
+	ringVnodes := fs.Int("ring-vnodes", 0, "virtual nodes per shard on the consistent-hash ring (0 = 128)")
 	var cli obs.CLI
 	cli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +153,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	o := cli.NewObs(stdout, stderr)
 	log := o.Log
+
+	cl, err := buildCluster(*peersFlag, *shardID, *peerTimeout, *ringVnodes, o)
+	if err != nil {
+		fmt.Fprintf(stderr, "powerbenchd: %v\n", err)
+		return 2
+	}
 
 	// Runtime health series (goroutines, heap, GC) on the same registry the
 	// service scrapes, refreshed every 10 s and once more at the final flush.
@@ -99,6 +176,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxCampaignPoints: *maxCampaignPoints,
 		CampaignWorkers:   *campaignWorkers,
 		EnableProfiling:   *pprofOn,
+		Cluster:           cl,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -125,6 +203,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	// The resolved address (not the flag) so port 0 is discoverable.
 	log.Reportf("powerbenchd listening on http://%s\n", ln.Addr())
+	if cl != nil {
+		log.Reportf("cluster: shard %s of %d member(s), %d ring point(s)\n",
+			cl.Self(), cl.Members(), cl.RingSize())
+	}
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -121,5 +122,110 @@ func TestDaemonBadFlags(t *testing.T) {
 	var stdout, stderr syncBuffer
 	if rc := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); rc != 2 {
 		t.Fatalf("exit code %d, want 2", rc)
+	}
+}
+
+// parsePeers accepts inline id=url lists and @file membership files, and
+// rejects malformed entries.
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("s0,s1=http://h:1,s2=http://h:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0].ID != "s0" || peers[0].URL != "" ||
+		peers[1].ID != "s1" || peers[1].URL != "http://h:1" {
+		t.Fatalf("parsed %+v", peers)
+	}
+
+	file := t.TempDir() + "/peers.txt"
+	if err := os.WriteFile(file, []byte("# membership\ns0=http://h:1\n\ns1=http://h:2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	peers, err = parsePeers("@" + file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[1].URL != "http://h:2" {
+		t.Fatalf("parsed from file: %+v", peers)
+	}
+
+	for _, bad := range []string{"", "=http://h:1", "@/does/not/exist", ","} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted a bad value", bad)
+		}
+	}
+}
+
+// The cluster flags validate as a unit: -peers needs -shard-id, the shard
+// id must be a listed member, and peers (other than self) need URLs.
+func TestBuildClusterValidation(t *testing.T) {
+	cases := []struct {
+		name, peers, shard string
+	}{
+		{"peers without shard-id", "s0,s1=http://h:1", ""},
+		{"shard-id without peers", "", "s0"},
+		{"shard-id not a member", "s0,s1=http://h:1", "s9"},
+		{"peer missing url", "s0,s1", "s0"},
+	}
+	for _, tc := range cases {
+		if _, err := buildCluster(tc.peers, tc.shard, 0, 0, nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	cl, err := buildCluster("s0,s1=http://h:1", "s0", 0, 0, nil)
+	if err != nil || cl == nil || cl.Self() != "s0" || cl.Members() != 2 {
+		t.Fatalf("valid config: cl=%v err=%v", cl, err)
+	}
+	if cl, err := buildCluster("", "", 0, 0, nil); cl != nil || err != nil {
+		t.Fatalf("standalone: cl=%v err=%v", cl, err)
+	}
+}
+
+// A clustered daemon reports its shard identity at boot and exposes the
+// cluster block on /healthz.
+func TestDaemonClusterBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the daemon")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	rc := make(chan int, 1)
+	go func() {
+		rc <- run(ctx, []string{"-addr", "127.0.0.1:0",
+			"-shard-id", "s0", "-peers", "s0,s1=http://127.0.0.1:1"}, &stdout, &stderr)
+	}()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stderr: %q", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(stdout.String(), "cluster: shard s0 of 2 member(s)") {
+		t.Errorf("boot log missing the cluster report: %q", stdout.String())
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"shard": "s0"`) {
+		t.Errorf("healthz missing the cluster block: %s", body)
+	}
+	cancel()
+	select {
+	case code := <-rc:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("clustered daemon did not shut down")
 	}
 }

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// This file is the peering client: the three bounded HTTP operations one
+// shard performs against another. Every call takes the caller's context —
+// a cancelled request (deadline, singleflight abandonment) cancels its
+// in-flight peer call with it, so a slow peer can never hold a goroutine
+// past the request that wanted the answer.
+
+// maxPeerBody bounds a fetched peer result; response bodies are evaluation
+// JSON of a few KiB, so 4 MiB is generous headroom, not a real limit.
+const maxPeerBody = 4 << 20
+
+// resultPath renders the internal peer-protocol path for a cache key. The
+// key (e.g. "evaluate|<64 hex>") is path-escaped so the '|' separator and
+// the compare key's '+' chain survive routing.
+func resultPath(key string) string {
+	return "/v1/peer/results/" + url.PathEscape(key)
+}
+
+// FetchResult asks owner for key's cached bytes: a bounded-deadline GET
+// against the internal peer route. ok reports a usable result; any miss,
+// error or timeout is "no" — the caller computes locally, which is always
+// correct, just slower. Transport errors feed the health hysteresis so a
+// dead peer stops being asked within FailAfter calls.
+func (c *Cluster) FetchResult(ctx context.Context, owner, key string) (body []byte, ok bool) {
+	base := c.peerURL(owner)
+	if base == "" {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.peerTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+resultPath(key), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.errs.Add(1)
+		c.obs.Counter("cluster_peer_errors_total").Inc()
+		c.noteFailure(owner, err.Error())
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		if err != nil || len(b) == 0 {
+			c.errs.Add(1)
+			c.obs.Counter("cluster_peer_errors_total").Inc()
+			return nil, false
+		}
+		c.hits.Add(1)
+		c.obs.Counter("cluster_peer_hits_total").Inc()
+		return b, true
+	case http.StatusNotFound:
+		c.misses.Add(1)
+		c.obs.Counter("cluster_peer_misses_total").Inc()
+		return nil, false
+	default:
+		c.errs.Add(1)
+		c.obs.Counter("cluster_peer_errors_total").Inc()
+		return nil, false
+	}
+}
+
+// OfferResult forwards a computed result to its owning shard (PUT on the
+// peer route), so a key computed off-owner — peer was briefly down, or a
+// request raced the health verdict — still ends up cached where the ring
+// sends future readers. Best-effort: the local response already went out,
+// so a failed offer costs nothing but a future peer miss.
+func (c *Cluster) OfferResult(owner, key string, body []byte) {
+	base := c.peerURL(owner)
+	if base == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.peerTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+resultPath(key), bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.noteFailure(owner, err.Error())
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 300 {
+		c.obs.Counter("cluster_results_forwarded_total").Inc()
+	}
+}
+
+// Dispatch sends a full evaluation request to the owning shard's public
+// endpoint and returns the response bytes on success. Unlike FetchResult
+// it is bounded by the caller's deadline alone — the owner may genuinely
+// compute — and it goes through the owner's admission control, so a
+// saturated owner answers 429 and the caller falls back to local compute.
+// The jobs layer uses it to run campaign points where their cache entry
+// belongs.
+func (c *Cluster) Dispatch(ctx context.Context, owner, path string, reqBody []byte) ([]byte, error) {
+	base := c.peerURL(owner)
+	if base == "" {
+		return nil, fmt.Errorf("cluster: unknown peer %s", owner)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.noteFailure(owner, err.Error())
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s answered %d for %s", owner, resp.StatusCode, path)
+	}
+	c.obs.Counter("cluster_points_dispatched_total").Inc()
+	c.obs.Histogram("cluster_dispatch_seconds", nil).Observe(time.Since(start).Seconds())
+	return body, nil
+}

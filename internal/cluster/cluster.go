@@ -1,0 +1,326 @@
+// Package cluster lets N powerbenchd processes run as one service. It is
+// deliberately thin, because the pipeline's invariants do the heavy
+// lifting: every result is content-addressed by core.CanonicalHash and
+// byte-identical by construction, so a peer's cached bytes are
+// indistinguishable from a local computation and replication is safe
+// without versioning, quorums or invalidation.
+//
+// The pieces:
+//
+//   - A deterministic consistent-hash ring (ring.go) assigns each cache
+//     key an owning shard. Membership is static (a -peers flag or config
+//     file), so every process derives the identical assignment.
+//
+//   - A health loop (health.go) probes each peer's /healthz with
+//     hysteresis: a peer goes down after FailAfter consecutive failures
+//     and comes back after UpAfter consecutive successes, so one dropped
+//     probe never flaps routing. A draining peer counts as down — load
+//     sheds before the listener closes.
+//
+//   - A peer client (client.go) does bounded-deadline fetches from a
+//     key's owner (GET /v1/peer/results/{key}), offers ownership-
+//     violating writes back to the owner (PUT), and dispatches campaign
+//     points to their owning shard (POST /v1/{method}).
+//
+// Failure semantics: the cluster layer only ever adds a bounded, cheap
+// attempt before the local path. When peers are down, unreachable or slow,
+// every shard degrades to exactly the single-node behavior — local
+// compute — so a cluster of N is never worse than N independent daemons.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerbench/internal/obs"
+)
+
+// Peer names one cluster member: a stable shard id and the base URL its
+// peers reach it at (scheme://host:port).
+type Peer struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Config describes the static cluster membership and the peering budgets.
+type Config struct {
+	// Self is this process's shard id; it must appear in Peers.
+	Self string
+	// Peers is the full membership, including self (whose URL may be
+	// empty — a shard never dials itself).
+	Peers []Peer
+	// VirtualNodes is the per-member ring point count (0 selects
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// PeerTimeout bounds one peer fetch or offer (0 selects 250ms). It is
+	// deliberately far below a compute: a slow peer must cost less than
+	// just computing locally.
+	PeerTimeout time.Duration
+	// ProbeInterval is the health-loop cadence (0 selects 1s).
+	ProbeInterval time.Duration
+	// FailAfter is how many consecutive probe/fetch failures mark a peer
+	// down (0 selects 3); UpAfter how many consecutive successes bring it
+	// back (0 selects 2).
+	FailAfter int
+	UpAfter   int
+	// Obs receives the cluster telemetry (nil disables it).
+	Obs *obs.Obs
+}
+
+func (c Config) peerTimeout() time.Duration {
+	if c.PeerTimeout > 0 {
+		return c.PeerTimeout
+	}
+	return 250 * time.Millisecond
+}
+
+func (c Config) probeInterval() time.Duration {
+	if c.ProbeInterval > 0 {
+		return c.ProbeInterval
+	}
+	return time.Second
+}
+
+func (c Config) failAfter() int {
+	if c.FailAfter > 0 {
+		return c.FailAfter
+	}
+	return 3
+}
+
+func (c Config) upAfter() int {
+	if c.UpAfter > 0 {
+		return c.UpAfter
+	}
+	return 2
+}
+
+// Peer states as reported in /healthz.
+const (
+	StateProbing = "probing" // never successfully probed; treated as down
+	StateUp      = "up"
+	StateDown    = "down"
+)
+
+// peerState is the mutable health record of one remote member.
+type peerState struct {
+	id  string
+	url string
+
+	// All fields below are guarded by Cluster.mu.
+	state     string
+	fails     int // consecutive failures
+	oks       int // consecutive successes while down
+	draining  bool
+	lastError string
+}
+
+// Cluster is one shard's view of the fleet: the ring, the peer health
+// table and the peering client.
+type Cluster struct {
+	cfg  Config
+	obs  *obs.Obs
+	ring *Ring
+	// client dials peers; per-call deadlines come from request contexts,
+	// never a transport-global timeout (a global timeout would outlive the
+	// caller's cancellation — the singleflight-abandon bug).
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	// Peering outcome counters, mirrored to obs and summed for /healthz.
+	hits   atomic.Int64
+	misses atomic.Int64
+	errs   atomic.Int64
+
+	stop    chan struct{}
+	stopped sync.Once
+	started sync.Once
+	wg      sync.WaitGroup
+}
+
+// New builds a cluster from static membership. Start must be called to run
+// the health loop (serve.New does).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	peers := make(map[string]*peerState, len(cfg.Peers))
+	self := false
+	for _, p := range cfg.Peers {
+		if p.ID == "" {
+			return nil, errors.New("cluster: peer with empty id")
+		}
+		if p.ID == cfg.Self {
+			self = true
+			ids = append(ids, p.ID)
+			continue
+		}
+		if p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %s has no URL", p.ID)
+		}
+		if _, dup := peers[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %s", p.ID)
+		}
+		ids = append(ids, p.ID)
+		peers[p.ID] = &peerState{id: p.ID, url: p.URL, state: StateProbing}
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: self id %s not in peer list", cfg.Self)
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		obs:    cfg.Obs,
+		ring:   NewRing(ids, cfg.VirtualNodes),
+		client: &http.Client{},
+		peers:  peers,
+		stop:   make(chan struct{}),
+	}
+	c.obs.Gauge("cluster_members").Set(float64(len(ids)))
+	c.obs.Gauge("cluster_ring_points").Set(float64(c.ring.Size()))
+	c.obs.Gauge("cluster_peers_up").Set(0)
+	for _, name := range []string{
+		"cluster_peer_hits_total", "cluster_peer_misses_total",
+		"cluster_peer_errors_total", "cluster_results_forwarded_total",
+		"cluster_points_dispatched_total", "cluster_peer_transitions_total",
+	} {
+		c.obs.Counter(name)
+	}
+	return c, nil
+}
+
+// Standalone returns a cluster of one: every key is local, there are no
+// peers to probe, and the peering paths are never taken. It is the nil-
+// object the serve layer uses when no -peers are configured, so single-
+// node behavior is the degenerate case of the cluster code, not a
+// separate code path.
+func Standalone(id string, o *obs.Obs) *Cluster {
+	if id == "" {
+		id = "standalone"
+	}
+	c, err := New(Config{Self: id, Peers: []Peer{{ID: id}}, Obs: o})
+	if err != nil {
+		// Unreachable: a one-member config cannot fail validation.
+		panic(err)
+	}
+	return c
+}
+
+// Self returns this shard's id.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Members returns the sorted member count (self included).
+func (c *Cluster) Members() int { return len(c.ring.Members()) }
+
+// RingSize returns the total virtual-node count.
+func (c *Cluster) RingSize() int { return c.ring.Size() }
+
+// Owner returns the shard id owning key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// IsLocal reports whether this shard owns key.
+func (c *Cluster) IsLocal(key string) bool { return c.ring.Owner(key) == c.cfg.Self }
+
+// Healthy reports whether id is a known, up, non-draining peer — the gate
+// every peering attempt checks before spending its bounded budget.
+func (c *Cluster) Healthy(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[id]
+	return p != nil && p.state == StateUp && !p.draining
+}
+
+// SetHealthy overrides a peer's health state, bypassing hysteresis. It
+// exists for tests and operational tooling; the probe loop will keep
+// updating the state afterwards.
+func (c *Cluster) SetHealthy(id string, up bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[id]
+	if p == nil {
+		return
+	}
+	if up {
+		p.state, p.fails, p.oks, p.draining = StateUp, 0, 0, false
+	} else {
+		p.state = StateDown
+	}
+	c.publishUpLocked()
+}
+
+// peerURL returns the base URL for a known peer id ("" otherwise).
+func (c *Cluster) peerURL(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.peers[id]; p != nil {
+		return p.url
+	}
+	return ""
+}
+
+// PeerHealth is one row of the /healthz cluster block.
+type PeerHealth struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	State    string `json:"state"`
+	Failures int    `json:"consecutive_failures,omitempty"`
+	Draining bool   `json:"draining,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// Health is the cluster block of /healthz: the ring shape, each peer's
+// state and the peering hit ratio.
+type Health struct {
+	Shard        string       `json:"shard"`
+	Members      int          `json:"members"`
+	RingPoints   int          `json:"ring_points"`
+	Peers        []PeerHealth `json:"peers"`
+	PeerHits     int64        `json:"peer_hits"`
+	PeerMisses   int64        `json:"peer_misses"`
+	PeerErrors   int64        `json:"peer_errors"`
+	PeerHitRatio float64      `json:"peer_hit_ratio"`
+}
+
+// Health snapshots the cluster state for /healthz.
+func (c *Cluster) Health() Health {
+	h := Health{
+		Shard:      c.cfg.Self,
+		Members:    c.Members(),
+		RingPoints: c.ring.Size(),
+		Peers:      []PeerHealth{},
+		PeerHits:   c.hits.Load(),
+		PeerMisses: c.misses.Load(),
+		PeerErrors: c.errs.Load(),
+	}
+	if total := h.PeerHits + h.PeerMisses + h.PeerErrors; total > 0 {
+		h.PeerHitRatio = float64(h.PeerHits) / float64(total)
+	}
+	c.mu.Lock()
+	for _, p := range c.peers {
+		h.Peers = append(h.Peers, PeerHealth{
+			ID: p.id, URL: p.url, State: p.state,
+			Failures: p.fails, Draining: p.draining, LastErr: p.lastError,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(h.Peers, func(i, j int) bool { return h.Peers[i].ID < h.Peers[j].ID })
+	return h
+}
+
+// publishUpLocked refreshes the cluster_peers_up gauge (caller holds mu).
+func (c *Cluster) publishUpLocked() {
+	up := 0
+	for _, p := range c.peers {
+		if p.state == StateUp && !p.draining {
+			up++
+		}
+	}
+	c.obs.Gauge("cluster_peers_up").Set(float64(up))
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"powerbench/internal/obs"
+)
+
+func twoNode(t *testing.T, peerURL string, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Self = "s0"
+	cfg.Peers = []Peer{{ID: "s0"}, {ID: "s1", URL: peerURL}}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no self", Config{Peers: []Peer{{ID: "a", URL: "http://x"}}}},
+		{"self missing from list", Config{Self: "b", Peers: []Peer{{ID: "a", URL: "http://x"}}}},
+		{"peer without url", Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "b"}}}},
+		{"duplicate peer", Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "b", URL: "http://x"}, {ID: "b", URL: "http://y"}}}},
+		{"empty id", Config{Self: "a", Peers: []Peer{{ID: "a"}, {ID: "", URL: "http://x"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted an invalid config", tc.name)
+		}
+	}
+}
+
+// A standalone cluster owns every key and routes nothing to peers.
+func TestStandalone(t *testing.T) {
+	c := Standalone("", obs.New())
+	if c.Self() != "standalone" || c.Members() != 1 {
+		t.Fatalf("standalone identity: self=%q members=%d", c.Self(), c.Members())
+	}
+	for _, k := range ringKeys(100) {
+		if !c.IsLocal(k) {
+			t.Fatalf("standalone cluster does not own %s", k)
+		}
+	}
+	c.Start() // must be a no-op, not a leak
+	c.Stop()
+	h := c.Health()
+	if len(h.Peers) != 0 || h.RingPoints != DefaultVirtualNodes {
+		t.Errorf("standalone health: %+v", h)
+	}
+}
+
+// Peers start as "probing" (routed like down), come up on the first
+// successful probe, go down only after FailAfter consecutive failures, and
+// return only after UpAfter consecutive successes — the hysteresis that
+// keeps one dropped probe from flapping the routing table.
+func TestHealthHysteresis(t *testing.T) {
+	var healthy atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok","draining":false}`))
+	}))
+	defer peer.Close()
+
+	c := twoNode(t, peer.URL, Config{FailAfter: 3, UpAfter: 2, PeerTimeout: 200 * time.Millisecond})
+	if c.Healthy("s1") {
+		t.Fatal("peer healthy before any probe")
+	}
+
+	// First success brings a probing peer straight up.
+	healthy.Store(true)
+	c.probe("s1")
+	if !c.Healthy("s1") {
+		t.Fatal("peer not up after first successful probe")
+	}
+
+	// Two failures: still up (FailAfter=3). Third: down.
+	healthy.Store(false)
+	c.probe("s1")
+	c.probe("s1")
+	if !c.Healthy("s1") {
+		t.Fatal("peer went down before FailAfter consecutive failures")
+	}
+	c.probe("s1")
+	if c.Healthy("s1") {
+		t.Fatal("peer still up after FailAfter consecutive failures")
+	}
+
+	// One success: still down (UpAfter=2). Second: up.
+	healthy.Store(true)
+	c.probe("s1")
+	if c.Healthy("s1") {
+		t.Fatal("peer back up before UpAfter consecutive successes")
+	}
+	c.probe("s1")
+	if !c.Healthy("s1") {
+		t.Fatal("peer not back up after UpAfter consecutive successes")
+	}
+
+	// An up success resets the failure streak: fail, succeed, fail, fail —
+	// never three in a row, so the peer must stay up.
+	healthy.Store(false)
+	c.probe("s1")
+	healthy.Store(true)
+	c.probe("s1")
+	healthy.Store(false)
+	c.probe("s1")
+	c.probe("s1")
+	if !c.Healthy("s1") {
+		t.Fatal("interleaved successes did not reset the failure streak")
+	}
+}
+
+// A draining peer answers its probe but must not be routed to.
+func TestDrainingPeerNotHealthy(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"draining","draining":true}`))
+	}))
+	defer peer.Close()
+	c := twoNode(t, peer.URL, Config{})
+	c.probe("s1")
+	if c.Healthy("s1") {
+		t.Fatal("draining peer reported healthy")
+	}
+	h := c.Health()
+	if len(h.Peers) != 1 || !h.Peers[0].Draining || h.Peers[0].State != StateUp {
+		t.Errorf("health block: %+v", h.Peers)
+	}
+}
+
+// FetchResult: 200 is a hit, 404 a miss, transport errors count toward the
+// health hysteresis so a dead peer is detected between probe ticks.
+func TestFetchResultOutcomes(t *testing.T) {
+	var mode atomic.Value
+	mode.Store("hit")
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case "hit":
+			w.Write([]byte(`{"ok":true}`))
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	c := twoNode(t, peer.URL, Config{FailAfter: 2})
+	c.SetHealthy("s1", true)
+
+	body, ok := c.FetchResult(context.Background(), "s1", "evaluate|abc")
+	if !ok || string(body) != `{"ok":true}` {
+		t.Fatalf("fetch hit: ok=%v body=%q", ok, body)
+	}
+	mode.Store("miss")
+	if _, ok := c.FetchResult(context.Background(), "s1", "evaluate|abc"); ok {
+		t.Fatal("fetch of a 404 reported ok")
+	}
+	h := c.Health()
+	if h.PeerHits != 1 || h.PeerMisses != 1 || h.PeerErrors != 0 {
+		t.Fatalf("counters after hit+miss: %+v", h)
+	}
+	if h.PeerHitRatio != 0.5 {
+		t.Fatalf("hit ratio %v, want 0.5", h.PeerHitRatio)
+	}
+
+	// Kill the peer: transport errors accumulate and trip the hysteresis.
+	peer.Close()
+	c.FetchResult(context.Background(), "s1", "evaluate|abc")
+	c.FetchResult(context.Background(), "s1", "evaluate|abc")
+	if c.Healthy("s1") {
+		t.Fatal("peer still healthy after FailAfter transport errors")
+	}
+	if got := c.Health().PeerErrors; got != 2 {
+		t.Fatalf("peer errors %d, want 2", got)
+	}
+
+	// Unknown peers and fetches never panic, just miss.
+	if _, ok := c.FetchResult(context.Background(), "nobody", "k"); ok {
+		t.Fatal("fetch from unknown peer succeeded")
+	}
+}
+
+// A fetch must respect the caller's context: cancelling the request
+// cancels the in-flight peer call (the singleflight-abandonment contract).
+func TestFetchResultHonorsCallerContext(t *testing.T) {
+	unblocked := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+		close(unblocked)
+	}))
+	defer peer.Close()
+	c := twoNode(t, peer.URL, Config{PeerTimeout: 10 * time.Second})
+	c.SetHealthy("s1", true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.FetchResult(ctx, "s1", "evaluate|slow")
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled fetch reported a result")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled fetch did not return; peer call leaked past its caller")
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer handler never saw the cancellation")
+	}
+}
+
+// The health loop probes on its own: Start with a live peer brings it up
+// without any manual probe calls.
+func TestHealthLoop(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer peer.Close()
+	c := twoNode(t, peer.URL, Config{ProbeInterval: 10 * time.Millisecond})
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Healthy("s1") {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never brought the peer up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Stop()
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// This file is the cluster's liveness layer: a lightweight gossip-style
+// loop that probes each peer's /healthz and keeps the routing table's
+// up/down verdicts fresh. Probes are deliberately the same endpoint load
+// balancers and operators read, so "the cluster thinks s2 is down" and
+// "curl says s2 is down" can never disagree about what was asked.
+//
+// Hysteresis: one failed probe never flips routing. A peer must fail
+// FailAfter consecutive observations (probes or peering calls — fetch
+// errors count, so a dead peer is detected between probe ticks) to go
+// down, and succeed UpAfter consecutive probes to come back. Until its
+// first successful probe a peer is "probing", which routes like down:
+// a booting cluster serves everything locally and picks up peering as
+// members appear, never the other way around.
+
+// Start launches the health loop. It is idempotent and a no-op for a
+// standalone (peerless) cluster.
+func (c *Cluster) Start() {
+	c.started.Do(func() {
+		if len(c.peers) == 0 {
+			return
+		}
+		c.wg.Add(1)
+		go c.healthLoop()
+	})
+}
+
+// Stop halts the health loop and waits for it.
+func (c *Cluster) Stop() {
+	c.stopped.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+func (c *Cluster) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.probeInterval())
+	defer t.Stop()
+	for {
+		c.probeAll()
+		select {
+		case <-t.C:
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// probeAll probes every peer concurrently; one stuck peer must not delay
+// the verdict on the others.
+func (c *Cluster) probeAll() {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	done := make(chan struct{}, len(ids))
+	for _, id := range ids {
+		go func(id string) {
+			c.probe(id)
+			done <- struct{}{}
+		}(id)
+	}
+	for range ids {
+		<-done
+	}
+}
+
+// peerHealthz is the slice of a peer's /healthz body the prober reads.
+type peerHealthz struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+// probe performs one health observation of a peer.
+func (c *Cluster) probe(id string) {
+	url := c.peerURL(id)
+	if url == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.peerTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		c.noteFailure(id, err.Error())
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.noteFailure(id, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var h peerHealthz
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil {
+		c.noteFailure(id, resp.Status)
+		return
+	}
+	c.noteSuccess(id, h.Draining)
+}
+
+// noteFailure records one failed observation (probe or peering call) and
+// applies the down-transition hysteresis.
+func (c *Cluster) noteFailure(id, detail string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[id]
+	if p == nil {
+		return
+	}
+	p.oks = 0
+	p.fails++
+	p.lastError = detail
+	if p.state == StateUp && p.fails >= c.cfg.failAfter() {
+		p.state = StateDown
+		c.obs.Counter("cluster_peer_transitions_total").Inc()
+		c.obs.Infof("cluster: peer %s down after %d consecutive failures (%s)", id, p.fails, detail)
+		c.publishUpLocked()
+	}
+}
+
+// noteSuccess records one successful observation and applies the
+// up-transition hysteresis. Success while up just refreshes the draining
+// flag and clears the failure streak.
+func (c *Cluster) noteSuccess(id string, draining bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.peers[id]
+	if p == nil {
+		return
+	}
+	p.fails = 0
+	p.lastError = ""
+	wasRoutable := p.state == StateUp && !p.draining
+	p.draining = draining
+	if p.state != StateUp {
+		p.oks++
+		// A freshly probing peer comes up on its first success — there is
+		// no prior flap to damp. A peer that was marked down needs UpAfter
+		// consecutive successes.
+		if p.state == StateProbing || p.oks >= c.cfg.upAfter() {
+			p.state = StateUp
+			p.oks = 0
+			c.obs.Counter("cluster_peer_transitions_total").Inc()
+			c.obs.Infof("cluster: peer %s up", id)
+		}
+	}
+	if routable := p.state == StateUp && !p.draining; routable != wasRoutable {
+		c.publishUpLocked()
+	}
+}

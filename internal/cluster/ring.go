@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a deterministic consistent-hash ring over shard ids. Each member
+// contributes VirtualNodes points (virtual nodes) whose positions are pure
+// functions of the member id, so every process that knows the membership —
+// any shard, a restarted shard, a peer-aware load generator — derives the
+// identical key→owner assignment with no coordination. That determinism is
+// what lets ownership be a protocol instead of a negotiation: a key's owner
+// is computable anywhere, the same way its result bytes are.
+//
+// The standard consistent-hashing property holds by construction: removing
+// a member removes only that member's points, so only keys it owned remap
+// (≈1/N of the keyspace), and they remap to the surviving members in
+// proportion to their point counts. ring_test.go pins both properties.
+type Ring struct {
+	points  []ringPoint // sorted ascending by position
+	members []string    // sorted member ids
+}
+
+type ringPoint struct {
+	pos    uint64
+	member string
+}
+
+// DefaultVirtualNodes is the per-member point count when the caller passes
+// 0: enough that a 3-shard ring balances within a few percent of fair.
+const DefaultVirtualNodes = 128
+
+// NewRing builds a ring over the given member ids with vnodes points per
+// member (0 selects DefaultVirtualNodes). Member order is irrelevant —
+// the ring sorts ids — and duplicate ids collapse to one member.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	uniq := make(map[string]bool, len(members))
+	var ids []string
+	for _, m := range members {
+		if !uniq[m] {
+			uniq[m] = true
+			ids = append(ids, m)
+		}
+	}
+	sort.Strings(ids)
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(ids)*vnodes),
+		members: ids,
+	}
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: pointHash(id, v), member: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// A 64-bit collision between members is vanishingly unlikely but
+		// must still break deterministically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// pointHash positions one virtual node: the leading 8 bytes of a
+// domain-separated SHA-256 over (member, ordinal).
+func pointHash(member string, v int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("powerbench-ring-v1|%s|%d", member, v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a cache key on the ring, domain-separated from the
+// member points so a key can never collide with a virtual node by sharing
+// bytes with a member id.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte("powerbench-ring-key|" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the member of the first ring point
+// at or clockwise after the key's position (wrapping at the top). An empty
+// ring owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	pos := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member ids.
+func (r *Ring) Members() []string {
+	if r == nil {
+		return nil
+	}
+	return r.members
+}
+
+// Size returns the total virtual-node count (the /healthz ring_points
+// figure).
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.points)
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates a deterministic corpus of cache-key-shaped strings.
+func ringKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("evaluate|%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+func members(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return ids
+}
+
+// Key→owner assignment must be a pure function of the membership: two
+// independently constructed rings (a restart) agree on every key, and the
+// order the members were listed in is irrelevant (each process may read
+// its -peers flag in a different order).
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	keys := ringKeys(5000)
+	a := NewRing(members(5), 0)
+	b := NewRing(members(5), 0) // fresh construction = process restart
+	perm := []string{"shard-3", "shard-0", "shard-4", "shard-2", "shard-1"}
+	c := NewRing(perm, 0)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs across identical constructions", k)
+		}
+		if a.Owner(k) != c.Owner(k) {
+			t.Fatalf("owner of %s depends on member list order", k)
+		}
+	}
+}
+
+// Duplicate member ids collapse; an empty ring owns nothing.
+func TestRingDegenerateMemberships(t *testing.T) {
+	r := NewRing([]string{"a", "a", "a"}, 8)
+	if got := r.Size(); got != 8 {
+		t.Errorf("duplicate members: ring size %d, want 8", got)
+	}
+	if got := r.Owner("k"); got != "a" {
+		t.Errorf("single-member ring owner %q, want a", got)
+	}
+	var empty *Ring
+	if got := empty.Owner("k"); got != "" {
+		t.Errorf("nil ring owner %q, want empty", got)
+	}
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Errorf("empty ring owner %q, want empty", got)
+	}
+}
+
+// Removing one of N shards must remap only that shard's keys — every key
+// owned by a surviving member keeps its owner exactly (the consistent-
+// hashing contract), so the remapped fraction is the removed member's
+// share, ≈1/N.
+func TestRingRemovalRemapsOnlyOwnedKeys(t *testing.T) {
+	const n = 5
+	keys := ringKeys(20000)
+	full := NewRing(members(n), 0)
+	const removed = "shard-2"
+	var survivors []string
+	for _, id := range members(n) {
+		if id != removed {
+			survivors = append(survivors, id)
+		}
+	}
+	reduced := NewRing(survivors, 0)
+
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key %s moved %s→%s though %s was not removed", k, before, after, before)
+			}
+			continue
+		}
+		if after == removed {
+			t.Fatalf("key %s still owned by removed member", k)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	// The moved fraction is exactly the removed member's share of the
+	// keyspace; with DefaultVirtualNodes it should sit near 1/5.
+	if frac < 0.10 || frac > 0.32 {
+		t.Errorf("removal remapped %.3f of keys, want ≈1/%d (0.10..0.32)", frac, n)
+	}
+}
+
+// Virtual nodes must balance ownership: at DefaultVirtualNodes, every
+// member's share of a large keyspace stays within a modest factor of fair.
+func TestRingVirtualNodeBalance(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		keys := ringKeys(30000)
+		r := NewRing(members(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for id, got := range counts {
+			ratio := float64(got) / fair
+			if ratio < 0.55 || ratio > 1.6 {
+				t.Errorf("n=%d: member %s owns %.2fx its fair share (%d keys)", n, id, ratio, got)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d members own keys", n, len(counts))
+		}
+	}
+}
+
+// More virtual nodes tighten the balance; this pins the knob actually
+// doing something (a regression to one point per member would blow the
+// spread far past this).
+func TestRingMoreVnodesBalanceBetter(t *testing.T) {
+	keys := ringKeys(20000)
+	spread := func(vnodes int) float64 {
+		r := NewRing(members(4), vnodes)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		min, max := len(keys), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(min)
+	}
+	if s1, s128 := spread(1), spread(128); s128 >= s1 {
+		t.Errorf("128 vnodes spread %.2f not tighter than 1 vnode spread %.2f", s128, s1)
+	}
+}

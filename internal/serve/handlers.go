@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"powerbench/internal/cluster"
 	"powerbench/internal/core"
 	"powerbench/internal/fault"
 	"powerbench/internal/flight"
@@ -251,6 +252,11 @@ type healthResponse struct {
 	Inflight int            `json:"inflight"`
 	Cache    storeOccupancy `json:"cache"`
 	Traces   storeOccupancy `json:"traces"`
+	// Cluster is the sharding layer's block: shard identity, ring size,
+	// per-peer health states and the peer-fetch hit ratio. Present on
+	// every node — a standalone daemon reports a cluster of one — so
+	// probes and peers parse one stable shape.
+	Cluster cluster.Health `json:"cluster"`
 	// Jobs is the campaign subsystem's block: queue depth, active
 	// campaigns, WAL segment count and the read-only degradation flag.
 	Jobs *jobs.Health `json:"jobs,omitempty"`
@@ -263,6 +269,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Inflight: len(s.admit),
 		Cache:    storeOccupancy{Entries: s.cache.Len(), Bytes: s.cache.Bytes()},
 		Traces:   storeOccupancy{Entries: s.traces.Len(), Bytes: s.traces.Bytes()},
+		Cluster:  s.cluster.Health(),
 		Jobs:     s.jobsHealth(),
 	}
 	if h.Draining {

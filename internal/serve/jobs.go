@@ -177,6 +177,31 @@ func (s *Server) execPoint(ctx context.Context, pt jobs.Point) ([]byte, bool, er
 			return nil, false, ctx.Err()
 		}
 	}
+	// When the ring assigns this point to a healthy peer, run it where its
+	// cache entry belongs: first a cheap fetch (the owner may already have
+	// it), then a full dispatch through the owner's public endpoint and
+	// admission control. Any failure — owner down, saturated (429), slow —
+	// falls through to local compute, so a degraded cluster still finishes
+	// its campaigns at single-node speed.
+	if owner := s.cluster.Owner(pt.Key); owner != s.cluster.Self() && s.cluster.Healthy(owner) {
+		if body, ok := s.cluster.FetchResult(ctx, owner, pt.Key); ok {
+			evicted := s.cache.Put(pt.Key, body)
+			s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
+			s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
+			return body, true, nil
+		}
+		reqBody, err := json.Marshal(EvaluateRequest{
+			Server: pt.Server, Seed: pt.Seed, FaultProfile: pt.Profile,
+		})
+		if err == nil {
+			if body, err := s.cluster.Dispatch(ctx, owner, "/v1/"+pt.Method, reqBody); err == nil {
+				evicted := s.cache.Put(pt.Key, body)
+				s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
+				s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
+				return body, false, nil
+			}
+		}
+	}
 	sp, err := server.ByName(pt.Server)
 	if err != nil {
 		return nil, false, err

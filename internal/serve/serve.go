@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"powerbench/internal/cluster"
 	"powerbench/internal/core"
 	"powerbench/internal/flight"
 	"powerbench/internal/jobs"
@@ -106,6 +107,13 @@ type Config struct {
 	WALFsyncEvery time.Duration
 	// WALSegmentBytes bounds one WAL segment file (0 selects 4 MiB).
 	WALSegmentBytes int64
+	// Cluster is this shard's view of the fleet: the consistent-hash ring,
+	// peer health and the peering client (DESIGN.md §14). Nil runs a
+	// standalone cluster of one, which takes none of the peering paths —
+	// single-node behavior is the degenerate case, not a separate code
+	// path. The server owns the cluster lifecycle: New starts its health
+	// loop, Close/Shutdown stop it.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) maxInFlight() int {
@@ -177,6 +185,9 @@ type Server struct {
 	traces *traceStore
 	// jobs is the durable campaign manager behind POST /v1/jobs.
 	jobs *jobs.Manager
+	// cluster is the sharding/peering layer; never nil (standalone when
+	// unconfigured).
+	cluster *cluster.Cluster
 	// recovery summarizes what the jobs WAL replayed at boot.
 	recovery jobs.Recovery
 	// draining flips once shutdown starts; /healthz reports it so load
@@ -217,10 +228,15 @@ func New(cfg Config) (*Server, error) {
 		admit:      make(chan struct{}, cfg.maxInFlight()),
 		baseCtx:    ctx,
 		cancelBase: cancel,
+		cluster:    cfg.Cluster,
 		evalFn:     core.EvaluateCtx,
 		g500Fn:     core.Green500Ctx,
 		cmpFn:      core.CompareCtx,
 	}
+	if s.cluster == nil {
+		s.cluster = cluster.Standalone("", cfg.Obs)
+	}
+	s.cluster.Start()
 	if cfg.Obs != nil {
 		s.slo = obs.NewSLOTracker(cfg.Obs.Metrics, cfg.SLO)
 		// The daemon may be handed a bare registry that never went through
@@ -289,6 +305,11 @@ func New(cfg Config) (*Server, error) {
 	// forward http.Flusher, and a long-lived stream would poison the
 	// latency histograms anyway.
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	// The peer protocol (cache peering between shards) bypasses the SLO
+	// wrapper: a peer miss answers 404 by design, and counting routine
+	// misses as availability burn would poison the burn-rate gauges.
+	s.mux.Handle("GET /v1/peer/results/{key}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerGet)))
+	s.mux.Handle("PUT /v1/peer/results/{key}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerPut)))
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.HTTPMetrics(s.obs, "/metrics", s.metricsHandler()))
 	if cfg.EnableProfiling {
@@ -365,6 +386,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Shutdown does).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop probing peers first; /healthz now reports draining, so the
+	// peers' own probes shed load off this shard symmetrically.
+	s.cluster.Stop()
 	start := time.Now()
 	defer func() {
 		s.obs.Gauge("serve_drain_seconds").Set(time.Since(start).Seconds())
@@ -391,6 +415,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Close cancels outstanding computations and waits for them to unwind.
 func (s *Server) Close() {
 	s.draining.Store(true)
+	s.cluster.Stop()
 	s.jobs.Close()
 	s.cancelBase()
 	s.wg.Wait()
@@ -473,6 +498,15 @@ func (s *Server) serveComputed(w http.ResponseWriter, req *http.Request, route, 
 
 	select {
 	case <-f.done:
+		// A flight served by cache peering advertises its origin shard;
+		// the beginner's "miss" upgrades to "peer" (a joiner still joined
+		// a flight, so it stays "dedup").
+		if f.peer != "" {
+			w.Header().Set(peerHeader, f.peer)
+		}
+		if how == "miss" && f.via == "peer" {
+			how = "peer"
+		}
 		writeBody(w, f.status, how, f.body)
 	case <-ctx.Done():
 		if s.flights.leave(f) {
@@ -534,8 +568,34 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn, t 
 	inflight := s.obs.Gauge("serve_compute_inflight")
 	inflight.Add(1)
 	defer inflight.Add(-1)
-	s.obs.Counter("serve_compute_total").Inc()
 
+	// Ownership check: when the ring assigns this key to a healthy peer,
+	// a bounded-deadline fetch from the owner runs before any local
+	// compute. The fetch shares the flight's context, so singleflight
+	// abandonment (last waiter gone) cancels an in-flight peer call
+	// exactly as it cancels a local computation — a slow peer cannot hold
+	// a goroutine past the request deadline. Byte-identity makes the
+	// splice sound: the owner's cached bytes are the bytes this shard
+	// would have computed.
+	owner := s.cluster.Owner(f.key)
+	if owner != s.cluster.Self() && s.cluster.Healthy(owner) {
+		ps := t.tr.Root().Child("peer").Attr("owner", owner)
+		fetchStart := time.Now()
+		if body, ok := s.cluster.FetchResult(ctx, owner, f.key); ok {
+			ps.Attr("result", "hit").End()
+			t.tr.Root().End()
+			evicted := s.cache.Put(f.key, body)
+			s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
+			s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
+			f.via, f.peer = "peer", owner
+			s.storeTrace(t.tr, t.route, t.key, http.StatusOK, t.faulted, "peer", time.Since(fetchStart))
+			s.flights.settle(f, http.StatusOK, body)
+			return
+		}
+		ps.Attr("result", "miss").End()
+	}
+
+	s.obs.Counter("serve_compute_total").Inc()
 	compute := t.tr.Root().Child("compute")
 	ctx = tracectx.ContextWith(ctx, compute)
 	rec := flight.NewRecorder(0)
@@ -569,6 +629,18 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn, t 
 		s.obs.Counter("serve_cache_evictions_total").Add(int64(evicted))
 		s.obs.Gauge("serve_cache_entries").Set(float64(s.cache.Len()))
 		s.storeFlight(flightID(f.key), rec)
+		if owner != s.cluster.Self() {
+			// Ownership-violating write: this shard computed a key the
+			// ring assigns elsewhere (owner was down or its cache cold).
+			// Forward the bytes so future readers find them where the
+			// ring sends them; best-effort and off the request path.
+			fwd := body
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.cluster.OfferResult(owner, f.key, fwd)
+			}()
+		}
 	}
 	// Store the trace before waking the waiters: a client that reads the
 	// X-Powerbench-Trace header off its response can fetch the trace

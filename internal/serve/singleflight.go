@@ -29,6 +29,12 @@ type serveFlight struct {
 	// group mutex).
 	waiters int
 	settled bool
+	// via and peer record how the flight was served: via "peer" with the
+	// owning shard's id when cache peering answered, "" for a local
+	// compute. Written by the flight runner before settle, read by
+	// waiters after done closes (the channel close orders the accesses).
+	via  string
+	peer string
 }
 
 func newFlightGroup() *flightGroup {

@@ -42,6 +42,12 @@ func (s *Server) sampleReason(status int, faulted bool, how string, dur time.Dur
 		return "slow"
 	case how == "miss":
 		return "cache-miss"
+	case how == "peer":
+		// Peer-served misses are always retained: they document the
+		// cluster's routing decisions (which shard owned the key, how long
+		// the fetch took) — exactly what a cross-shard forensics question
+		// needs.
+		return "peer"
 	case keyFraction(key) < s.cfg.traceSampleRate():
 		return "sampled"
 	}
