@@ -21,9 +21,11 @@
 // consistent-hash ring assigns it to, so every request lands where its
 // cache entry lives (the ids must match the daemons' -shard-id values). A
 // transport error fails over to the next target, so killing one shard
-// mid-run costs latency, not failed requests. The digest gains a
-// per-target block and a cluster-wide cache split including peer-served
-// responses.
+// mid-run costs latency, not failed requests; a rerouted request is
+// counted once, at the target that answered it, with a failover
+// annotation (the per-target "rerouted-here" column), so per-target
+// request counts always sum to -n. The digest gains a per-target block
+// and a cluster-wide cache split including peer-served responses.
 //
 // By default one untimed warm-up request populates the daemon's cache so
 // the timed run measures steady-state (cache-hit) serving; -no-warm and
@@ -309,6 +311,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	caches := map[string]int{}
 	type targetStats struct {
 		requests, errs int
+		rerouted       int // requests that failed over here from a dead target
 		caches         map[string]int
 	}
 	perTarget := map[string]*targetStats{}
@@ -320,9 +323,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ts = &targetStats{caches: map[string]int{}}
 			perTarget[r.target] = ts
 		}
+		// Each request is counted exactly once, at the target that answered
+		// it; a failover is an annotation on that one request, not a second
+		// request, so per-target counts sum to the -n total and fleet RPS
+		// math from the per-shard metrics adds up.
 		ts.requests++
 		if r.failover {
 			failovers++
+			ts.rerouted++
 		}
 		if r.status == 0 {
 			transportErrs++
@@ -389,6 +397,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			line := fmt.Sprintf("target %s: %d requests, hit %d, miss %d, dedup %d, peer %d",
 				t.id, ts.requests, ts.caches["hit"], ts.caches["miss"], ts.caches["dedup"], ts.caches["peer"])
+			if ts.rerouted > 0 {
+				line += fmt.Sprintf(", rerouted-here %d", ts.rerouted)
+			}
 			if ts.errs > 0 {
 				line += fmt.Sprintf(", transport-error %d", ts.errs)
 			}

@@ -319,6 +319,19 @@ func TestLoadgenMultiTargetFailover(t *testing.T) {
 	if !strings.Contains(out, "failover: 3 request(s)") {
 		t.Errorf("report missing the failover count:\n%s", out)
 	}
+	// A rerouted request counts once, at the answering target, with a
+	// failover annotation: the live shard reports all 6 requests (so
+	// per-target counts sum to -n) and the 3 reroutes it absorbed; the
+	// dead shard reports zero, not phantom retries.
+	if !strings.Contains(out, "target s1: 6 requests") {
+		t.Errorf("answering target not credited with all requests:\n%s", out)
+	}
+	if !strings.Contains(out, "rerouted-here 3") {
+		t.Errorf("per-target digest missing the failover annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "target s0: 0 requests") {
+		t.Errorf("dead target should report zero requests, not retries:\n%s", out)
+	}
 }
 
 // Malformed -targets and -route values are usage errors.

@@ -1,0 +1,222 @@
+package main
+
+// powerbench fleet — query the fleet observability plane (DESIGN.md §15).
+//
+//	powerbench fleet status <url|file>  per-shard health, campaign totals, occupancy
+//	powerbench fleet traces <url|file>  federated trace listing across every shard
+//	powerbench fleet top <url|file>     largest counters in the merged metrics rollup
+//
+// The operand is any shard's base URL (http://host:port) — the shard fans
+// out to its peers, so one address sees the whole fleet — or a saved JSON
+// document (the GET /v1/fleet body for status/top, GET /v1/traces for
+// traces). A bare base URL is completed with the right endpoint path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"powerbench/internal/fleet"
+)
+
+const fleetUsage = `usage: powerbench fleet <command> <url|file>
+
+  status <url|file>  per-shard health, campaign totals and store occupancy
+  traces <url|file>  federated trace listing (deduped across shards)
+  top <url|file>     largest counters in the merged metrics rollup`
+
+func fleetCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, fleetUsage)
+		return 2
+	}
+	cmd, src := args[0], args[1]
+	switch cmd {
+	case "status", "top":
+		b, err := loadFleetDoc(src, "/v1/fleet")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		var ov fleet.Overview
+		if err := json.Unmarshal(b, &ov); err != nil {
+			fmt.Fprintf(stderr, "%s: parsing fleet overview: %v\n", src, err)
+			return 1
+		}
+		if ov.Schema != fleet.OverviewSchema {
+			fmt.Fprintf(stderr, "%s: schema %q is not %q\n", src, ov.Schema, fleet.OverviewSchema)
+			return 1
+		}
+		if cmd == "status" {
+			writeFleetStatus(stdout, &ov)
+		} else {
+			writeFleetTop(stdout, &ov)
+		}
+		return 0
+	case "traces":
+		b, err := loadFleetDoc(src, "/v1/traces")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		var l fleet.Listing
+		if err := json.Unmarshal(b, &l); err != nil {
+			fmt.Fprintf(stderr, "%s: parsing trace listing: %v\n", src, err)
+			return 1
+		}
+		writeFleetTraces(stdout, &l)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "powerbench fleet: unknown command %q\n%s\n", cmd, fleetUsage)
+		return 2
+	}
+}
+
+// loadFleetDoc reads a JSON document from a file, or from a daemon when the
+// operand is a URL — appending path when the operand is a bare base URL.
+func loadFleetDoc(src, path string) ([]byte, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		return os.ReadFile(src)
+	}
+	url := src
+	if !strings.Contains(strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://"), "/") {
+		url = strings.TrimSuffix(url, "/") + path
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return b, nil
+}
+
+// writeFleetStatus renders the fleet overview: membership header, one row
+// per shard, and the campaign totals.
+func writeFleetStatus(w io.Writer, ov *fleet.Overview) {
+	partial := ""
+	if ov.Partial {
+		partial = "  [PARTIAL: some members did not report]"
+	}
+	fmt.Fprintf(w, "fleet of %d (answered by %s, %d peers up, %d ring points)%s\n\n",
+		ov.Members, ov.Shard, ov.PeersUp, ov.RingPoints, partial)
+	fmt.Fprintf(w, "%-10s %-12s %9s %14s %14s %14s %8s\n",
+		"SHARD", "STATE", "INFLIGHT", "CACHE", "TRACES", "FLIGHTS", "QUEUE")
+	for _, sh := range ov.Shards {
+		state := sh.State
+		if sh.Draining {
+			state += ",draining"
+		}
+		queue := "-"
+		if sh.Jobs != nil {
+			queue = fmt.Sprintf("%d", sh.Jobs.QueueDepth)
+		}
+		fmt.Fprintf(w, "%-10s %-12s %9d %14s %14s %14s %8s\n",
+			sh.Shard, state, sh.Inflight,
+			occupancyCell(sh.Cache), occupancyCell(sh.Traces), occupancyCell(sh.Flights), queue)
+	}
+	c := ov.Campaigns
+	ro := ""
+	if c.ReadOnly {
+		ro = " [READ-ONLY]"
+	}
+	fmt.Fprintf(w, "\ncampaigns: %d active, %d/%d points done, %d queued, %d quarantined, %d WAL segments%s\n",
+		c.ActiveCampaigns, c.DonePoints, c.TotalPoints, c.QueueDepth, c.QuarantinedPoints, c.WALSegments, ro)
+}
+
+func occupancyCell(o fleet.Occupancy) string {
+	return fmt.Sprintf("%d/%s", o.Entries, sizeCell(o.Bytes))
+}
+
+func sizeCell(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// writeFleetTraces renders the federated trace listing.
+func writeFleetTraces(w io.Writer, l *fleet.Listing) {
+	partial := ""
+	if l.Partial {
+		partial = "  [PARTIAL: some members did not report]"
+	}
+	scope := ""
+	if len(l.Shards) > 0 {
+		scope = fmt.Sprintf(" across %s", strings.Join(l.Shards, ","))
+	}
+	fmt.Fprintf(w, "%d traces (%s)%s%s\n\n", l.Count, sizeCell(l.Bytes), scope, partial)
+	fmt.Fprintf(w, "%-32s %-8s %6s %-12s %5s %12s\n", "TRACE", "SHARD", "STATUS", "REASON", "SPANS", "DURATION")
+	for _, t := range l.Traces {
+		shard := t.Shard
+		if shard == "" {
+			shard = "-"
+		}
+		fmt.Fprintf(w, "%-32s %-8s %6d %-12s %5d %12s\n",
+			t.Trace, shard, t.Status, t.Reason, t.Spans,
+			time.Duration(t.DurationUS)*time.Microsecond)
+	}
+}
+
+// fleetTopRows bounds the counter table `fleet top` prints.
+const fleetTopRows = 20
+
+// writeFleetTop renders the merged rollup's largest counters — the
+// cluster-wide totals, since MergeSnapshot sums counters across shards.
+func writeFleetTop(w io.Writer, ov *fleet.Overview) {
+	type row struct {
+		name  string
+		value float64
+	}
+	var rows []row
+	for _, m := range ov.Metrics.Metrics {
+		if m.Type != "counter" || m.Value == 0 {
+			continue
+		}
+		name := m.Name
+		if len(m.Labels) > 0 {
+			keys := make([]string, 0, len(m.Labels))
+			for k := range m.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + m.Labels[k]
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		rows = append(rows, row{name: name, value: m.Value})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].value != rows[j].value {
+			return rows[i].value > rows[j].value
+		}
+		return rows[i].name < rows[j].name
+	})
+	if len(rows) > fleetTopRows {
+		fmt.Fprintf(w, "top %d of %d counters (fleet-wide totals)\n\n", fleetTopRows, len(rows))
+		rows = rows[:fleetTopRows]
+	} else {
+		fmt.Fprintf(w, "%d counters (fleet-wide totals)\n\n", len(rows))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%14.0f  %s\n", r.value, r.name)
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerbench/internal/fleet"
+	"powerbench/internal/jobs"
+	"powerbench/internal/obs"
+)
+
+// sampleOverview builds a 3-shard fleet overview with merged counters.
+func sampleOverview(t *testing.T) []byte {
+	t.Helper()
+	ov := fleet.Overview{
+		Schema:     fleet.OverviewSchema,
+		Shard:      "s0",
+		Members:    3,
+		RingPoints: 384,
+		PeersUp:    1,
+		Partial:    true,
+		Shards: []fleet.ShardStatus{
+			{Shard: "s0", State: "self", Inflight: 1,
+				Cache:  fleet.Occupancy{Entries: 4, Bytes: 2048},
+				Traces: fleet.Occupancy{Entries: 2, Bytes: 512},
+				Jobs:   &jobs.Health{QueueDepth: 3, ActiveCampaigns: 1, TotalPoints: 10, DonePoints: 6}},
+			{Shard: "s1", State: "up", Draining: true},
+			{Shard: "s2", State: "down"},
+		},
+		Campaigns: fleet.CampaignTotals{QueueDepth: 3, ActiveCampaigns: 1, TotalPoints: 10, DonePoints: 6},
+		Metrics: obs.Snapshot{Metrics: []obs.SnapshotMetric{
+			{Name: "serve_compute_total", Type: "counter", Value: 42},
+			{Name: "serve_cache_hits_total", Type: "counter", Value: 7},
+			{Name: "cluster_peer_fetch_hits_total", Type: "counter", Value: 5,
+				Labels: map[string]string{"peer": "s1"}},
+			{Name: "serve_cache_entries", Type: "gauge", Value: 99,
+				Labels: map[string]string{"shard": "s0"}},
+			{Name: "idle_counter_total", Type: "counter", Value: 0},
+		}},
+	}
+	b, err := json.Marshal(ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFleetCmdStatus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, sampleOverview(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if rc := fleetCmd([]string{"status", path}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"fleet of 3", "answered by s0", "PARTIAL",
+		"s0", "self", "up,draining", "down",
+		"4/2.0KiB", "1 active, 6/10 points done, 3 queued",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetCmdTop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, sampleOverview(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if rc := fleetCmd([]string{"top", path}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Counters sorted by value desc; gauges and zero counters excluded.
+	var order []string
+	for _, l := range lines[2:] {
+		order = append(order, strings.TrimSpace(l))
+	}
+	if len(order) != 3 {
+		t.Fatalf("top rows = %d, want 3 (zero counter and gauge excluded):\n%s", len(order), out)
+	}
+	if !strings.Contains(order[0], "serve_compute_total") ||
+		!strings.Contains(order[1], "serve_cache_hits_total") ||
+		!strings.Contains(order[2], "cluster_peer_fetch_hits_total{peer=s1}") {
+		t.Errorf("top order/labels wrong:\n%s", out)
+	}
+	if strings.Contains(out, "serve_cache_entries") || strings.Contains(out, "idle_counter_total") {
+		t.Errorf("top leaked a gauge or zero counter:\n%s", out)
+	}
+}
+
+func TestFleetCmdTraces(t *testing.T) {
+	l := fleet.Listing{
+		Count: 2, Bytes: 4096, Partial: true, Shards: []string{"s0", "s1"},
+		Traces: []fleet.TraceSummary{
+			{Trace: strings.Repeat("a", 32), Root: "/v1/evaluate", Status: 200,
+				Reason: "cache-miss+peer", DurationUS: 1500, Spans: 7, Shard: "s1"},
+			{Trace: strings.Repeat("b", 32), Root: "/v1/compare", Status: 429,
+				Reason: "error", DurationUS: 10, Spans: 2},
+		},
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/v1/traces" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Write(b)
+	}))
+	defer srv.Close()
+
+	// A bare base URL is completed with the endpoint path.
+	var stdout, stderr bytes.Buffer
+	if rc := fleetCmd([]string{"traces", srv.URL}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"2 traces (4.0KiB) across s0,s1", "PARTIAL",
+		strings.Repeat("a", 32), "cache-miss+peer", "1.5ms",
+		strings.Repeat("b", 32), "429",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traces output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetCmdStatusFromURL(t *testing.T) {
+	doc := sampleOverview(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/v1/fleet" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Write(doc)
+	}))
+	defer srv.Close()
+	var stdout, stderr bytes.Buffer
+	if rc := fleetCmd([]string{"status", srv.URL}, &stdout, &stderr); rc != 0 {
+		t.Fatalf("rc=%d: %s", rc, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fleet of 3") {
+		t.Errorf("fetched overview not rendered:\n%s", stdout.String())
+	}
+}
+
+func TestFleetCmdErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if rc := fleetCmd(nil, &stdout, &stderr); rc != 2 {
+		t.Errorf("no args rc=%d, want 2", rc)
+	}
+	if rc := fleetCmd([]string{"frobnicate", "x"}, &stdout, &stderr); rc != 2 {
+		t.Errorf("unknown command rc=%d, want 2", rc)
+	}
+	if rc := fleetCmd([]string{"status", filepath.Join(t.TempDir(), "absent.json")}, &stdout, &stderr); rc != 1 {
+		t.Errorf("missing file rc=%d, want 1", rc)
+	}
+	// A wrong-schema document is rejected, not half-rendered.
+	path := filepath.Join(t.TempDir(), "bogus.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if rc := fleetCmd([]string{"status", path}, &stdout, &stderr); rc != 1 {
+		t.Errorf("wrong schema rc=%d, want 1", rc)
+	}
+	if !strings.Contains(stderr.String(), "schema") {
+		t.Errorf("schema error not surfaced: %s", stderr.String())
+	}
+}

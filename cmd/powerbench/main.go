@@ -10,6 +10,7 @@
 //	           [-v] [-q] [-metrics-out file] [-trace-out file]
 //	powerbench flight show|diff|verify ...
 //	powerbench trace show|top|export <file|url>
+//	powerbench fleet status|traces|top <url|file>
 //
 // -jobs sets how many simulation runs execute concurrently (default: one
 // per CPU; 1 = sequential). Output is byte-identical at every job count —
@@ -36,6 +37,13 @@
 // prints the critical path and per-span time share, and `export` emits
 // Chrome trace_event JSON. The operand is a saved trace document or a
 // daemon URL (http://host:port/v1/traces/<id>).
+//
+// The `powerbench fleet` subcommand queries a sharded powerbenchd cluster's
+// federation layer (DESIGN.md §15) through any one shard: `status` renders
+// per-shard health and campaign totals from GET /v1/fleet, `traces` the
+// federated (deduped, cluster-wide) trace listing, and `top` the largest
+// counters in the merged metrics rollup. The operand is a shard's base URL
+// or a saved JSON document.
 package main
 
 import (
@@ -184,6 +192,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(traceCmd(os.Args[2:], os.Stdout, os.Stderr))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		os.Exit(fleetCmd(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -21,6 +21,8 @@
 //	GET  /v1/jobs[/{id}]        campaign list / status (?points=1 for the table)
 //	DELETE /v1/jobs/{id}        cancel a live campaign (purge a finished one)
 //	GET  /v1/jobs/{id}/events   campaign progress as server-sent events
+//	GET  /v1/traces[/{id}]      retained request traces (federated when sharded)
+//	GET  /v1/fleet              cluster-wide health + merged metrics rollup
 //	GET  /metrics               Prometheus exposition of the live registry
 //	GET  /healthz               liveness probe (+ campaign/WAL block)
 //	GET  /debug/pprof/          live CPU/heap/goroutine profiles (with -pprof)
@@ -33,6 +35,18 @@
 // when peers die. -peers takes the full static membership — every entry is
 // id=url, the value may be @file to read the same list from a file, and
 // -shard-id names this process's entry (its url may be omitted).
+//
+// A sharded daemon is also one window onto the whole fleet (DESIGN.md
+// §15): GET /v1/traces/{id} fans out to the up peers and stitches the
+// shards' contributions into one canonical tree (byte-identical from any
+// shard), GET /v1/traces merges every shard's retained listing, GET
+// /v1/flights/{id} reads through to peers when the record is not local —
+// off-owner computations replicate their flight record to the owner
+// alongside the result bytes — and GET /v1/fleet aggregates every up
+// peer's registry snapshot (counters summed, gauges labeled per shard,
+// histograms merged bucket-wise) under a per-shard health block. Down
+// shards degrade these answers to "partial": true instead of errors;
+// `powerbench fleet status|traces|top` renders them.
 //
 // With -wal-dir set, campaigns are durable: every state transition is
 // journaled to a CRC-checked segmented write-ahead log, and a crashed

@@ -46,7 +46,7 @@ func (c *Cluster) FetchResult(ctx context.Context, owner, key string) (body []by
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.errs.Add(1)
-		c.obs.Counter("cluster_peer_errors_total").Inc()
+		c.peerCounter("cluster_peer_errors_total", owner).Inc()
 		c.noteFailure(owner, err.Error())
 		return nil, false
 	}
@@ -56,19 +56,19 @@ func (c *Cluster) FetchResult(ctx context.Context, owner, key string) (body []by
 		b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
 		if err != nil || len(b) == 0 {
 			c.errs.Add(1)
-			c.obs.Counter("cluster_peer_errors_total").Inc()
+			c.peerCounter("cluster_peer_errors_total", owner).Inc()
 			return nil, false
 		}
 		c.hits.Add(1)
-		c.obs.Counter("cluster_peer_hits_total").Inc()
+		c.peerCounter("cluster_peer_hits_total", owner).Inc()
 		return b, true
 	case http.StatusNotFound:
 		c.misses.Add(1)
-		c.obs.Counter("cluster_peer_misses_total").Inc()
+		c.peerCounter("cluster_peer_misses_total", owner).Inc()
 		return nil, false
 	default:
 		c.errs.Add(1)
-		c.obs.Counter("cluster_peer_errors_total").Inc()
+		c.peerCounter("cluster_peer_errors_total", owner).Inc()
 		return nil, false
 	}
 }
@@ -79,13 +79,28 @@ func (c *Cluster) FetchResult(ctx context.Context, owner, key string) (body []by
 // sends future readers. Best-effort: the local response already went out,
 // so a failed offer costs nothing but a future peer miss.
 func (c *Cluster) OfferResult(owner, key string, body []byte) {
+	c.offer(owner, resultPath(key), body, "cluster_results_forwarded_total")
+}
+
+// OfferFlight replicates a flight record to the owning shard (PUT on the
+// peer flight route) alongside the result bytes it annotates, so phase-level
+// energy attribution survives eviction on the shard that happened to
+// compute. Best-effort like OfferResult.
+func (c *Cluster) OfferFlight(owner, flightID string, body []byte) {
+	c.offer(owner, "/v1/peer/flights/"+url.PathEscape(flightID), body, "cluster_flights_replicated_total")
+}
+
+// offer is the shared best-effort PUT: bounded by the peer timeout on a
+// background context (the response that produced the bytes already went
+// out), counting successes on counter{peer=owner}.
+func (c *Cluster) offer(owner, path string, body []byte, counter string) {
 	base := c.peerURL(owner)
 	if base == "" {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.peerTimeout())
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+resultPath(key), bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+path, bytes.NewReader(body))
 	if err != nil {
 		return
 	}
@@ -98,8 +113,40 @@ func (c *Cluster) OfferResult(owner, key string, body []byte) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode < 300 {
-		c.obs.Counter("cluster_results_forwarded_total").Inc()
+		c.peerCounter(counter, owner).Inc()
 	}
+}
+
+// Fetch performs one bounded GET of an arbitrary path against a known peer
+// — the federation layer's transport for trace, flight and snapshot
+// queries. Transport errors feed the same health hysteresis as result
+// fetches and probes, so a dead shard stops being queried within FailAfter
+// observations. The HTTP status is returned alongside the body so callers
+// can tell "peer is fine, does not have it" (404) from a federation error.
+func (c *Cluster) Fetch(ctx context.Context, id, path string) (body []byte, status int, err error) {
+	base := c.peerURL(id)
+	if base == "" {
+		return nil, 0, fmt.Errorf("cluster: unknown peer %s", id)
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.peerTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.peerCounter("cluster_federation_errors_total", id).Inc()
+		c.noteFailure(id, err.Error())
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		c.peerCounter("cluster_federation_errors_total", id).Inc()
+		return nil, resp.StatusCode, err
+	}
+	return b, resp.StatusCode, nil
 }
 
 // Dispatch sends a full evaluation request to the owning shard's public
@@ -133,7 +180,7 @@ func (c *Cluster) Dispatch(ctx context.Context, owner, path string, reqBody []by
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: peer %s answered %d for %s", owner, resp.StatusCode, path)
 	}
-	c.obs.Counter("cluster_points_dispatched_total").Inc()
+	c.peerCounter("cluster_points_dispatched_total", owner).Inc()
 	c.obs.Histogram("cluster_dispatch_seconds", nil).Observe(time.Since(start).Seconds())
 	return body, nil
 }

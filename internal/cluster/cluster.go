@@ -190,10 +190,31 @@ func New(cfg Config) (*Cluster, error) {
 		"cluster_peer_hits_total", "cluster_peer_misses_total",
 		"cluster_peer_errors_total", "cluster_results_forwarded_total",
 		"cluster_points_dispatched_total", "cluster_peer_transitions_total",
+		"cluster_flights_replicated_total", "cluster_federation_errors_total",
 	} {
 		c.obs.Counter(name)
+		// Pre-touch the per-peer series so every shard scrapes the same
+		// families from boot; the obs cardinality guard bounds how many a
+		// mistyped membership list can create.
+		for id := range peers {
+			c.peerCounter(name, id)
+		}
 	}
 	return c, nil
+}
+
+// peerCounter returns the counter for (name, peer=<shard id>). Peer metrics
+// are labeled by shard id, never URL: membership bounds the id set, and the
+// obs cardinality guard (DefaultSeriesLimit label sets per name) caps what a
+// runaway -peers list can register — overflow degrades to the unlabeled
+// series plus obs_dropped_labels_total, not an unbounded registry. Ids that
+// are not valid label values (a URL pasted where an id belongs) collapse
+// into peer="invalid" for the same reason.
+func (c *Cluster) peerCounter(name, id string) *obs.Counter {
+	if obs.ValidateLabel(obs.L("peer", id)) != nil {
+		id = "invalid"
+	}
+	return c.obs.Counter(name, obs.L("peer", id))
 }
 
 // Standalone returns a cluster of one: every key is local, there are no
@@ -235,6 +256,34 @@ func (c *Cluster) Healthy(id string) bool {
 	defer c.mu.Unlock()
 	p := c.peers[id]
 	return p != nil && p.state == StateUp && !p.draining
+}
+
+// PeerIDs returns the sorted ids of every remote member (self excluded),
+// whatever their health state.
+func (c *Cluster) PeerIDs() []string {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// UpPeers returns the sorted ids of every remote member currently routable
+// (up and not draining) — the fan-out set for federated queries.
+func (c *Cluster) UpPeers() []string {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.peers))
+	for id, p := range c.peers {
+		if p.state == StateUp && !p.draining {
+			ids = append(ids, id)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	return ids
 }
 
 // SetHealthy overrides a peer's health state, bypassing hysteresis. It

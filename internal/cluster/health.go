@@ -121,7 +121,7 @@ func (c *Cluster) noteFailure(id, detail string) {
 	p.lastError = detail
 	if p.state == StateUp && p.fails >= c.cfg.failAfter() {
 		p.state = StateDown
-		c.obs.Counter("cluster_peer_transitions_total").Inc()
+		c.peerCounter("cluster_peer_transitions_total", id).Inc()
 		c.obs.Infof("cluster: peer %s down after %d consecutive failures (%s)", id, p.fails, detail)
 		c.publishUpLocked()
 	}
@@ -149,7 +149,7 @@ func (c *Cluster) noteSuccess(id string, draining bool) {
 		if p.state == StateProbing || p.oks >= c.cfg.upAfter() {
 			p.state = StateUp
 			p.oks = 0
-			c.obs.Counter("cluster_peer_transitions_total").Inc()
+			c.peerCounter("cluster_peer_transitions_total", id).Inc()
 			c.obs.Infof("cluster: peer %s up", id)
 		}
 	}

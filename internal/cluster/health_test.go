@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"powerbench/internal/obs"
+)
+
+// stateOf reads a peer's raw hysteresis state (same-package test access).
+func stateOf(c *Cluster, id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.peers[id]; p != nil {
+		return p.state
+	}
+	return ""
+}
+
+// TestHysteresisTransitions drives the probing→up→down→up state machine
+// through tabled event sequences. Events "ok"/"fail"/"drain" are direct
+// probe observations; "fetchfail" is a real FetchResult transport error
+// against an unreachable peer, proving peering failures feed the same
+// hysteresis as probes.
+func TestHysteresisTransitions(t *testing.T) {
+	// A listener that is already closed: every fetch is a transport error.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	type step struct {
+		ev       string
+		state    string
+		routable bool
+	}
+	cases := []struct {
+		name               string
+		failAfter, upAfter int
+		steps              []step
+	}{
+		{"boot: first success brings a probing peer straight up", 3, 2, []step{
+			{"ok", StateUp, true},
+		}},
+		{"probing absorbs failures without transitioning", 3, 2, []step{
+			{"fail", StateProbing, false},
+			{"fail", StateProbing, false},
+			{"fail", StateProbing, false},
+			{"fail", StateProbing, false},
+			{"ok", StateUp, true},
+		}},
+		{"down after FailAfter, back after UpAfter", 3, 2, []step{
+			{"ok", StateUp, true},
+			{"fail", StateUp, true},
+			{"fail", StateUp, true},
+			{"fail", StateDown, false},
+			{"ok", StateDown, false},
+			{"ok", StateUp, true},
+		}},
+		{"fetch transport errors count as probe failures", 3, 2, []step{
+			{"ok", StateUp, true},
+			{"fetchfail", StateUp, true},
+			{"fetchfail", StateUp, true},
+			{"fetchfail", StateDown, false},
+		}},
+		{"mixed fetch and probe failures share one streak", 3, 2, []step{
+			{"ok", StateUp, true},
+			{"fetchfail", StateUp, true},
+			{"fail", StateUp, true},
+			{"fetchfail", StateDown, false},
+		}},
+		{"a success while up resets the failure streak", 3, 2, []step{
+			{"ok", StateUp, true},
+			{"fail", StateUp, true},
+			{"fail", StateUp, true},
+			{"ok", StateUp, true},
+			{"fail", StateUp, true},
+			{"fail", StateUp, true},
+		}},
+		{"a success while down resets the ok streak on failure", 3, 2, []step{
+			{"ok", StateUp, true},
+			{"fail", StateUp, true},
+			{"fail", StateUp, true},
+			{"fail", StateDown, false},
+			{"ok", StateDown, false},
+			{"fail", StateDown, false},
+			{"ok", StateDown, false},
+			{"ok", StateUp, true},
+		}},
+		{"draining: up but never routable", 3, 2, []step{
+			{"ok", StateUp, true},
+			{"drain", StateUp, false},
+			{"ok", StateUp, true},
+		}},
+		{"custom thresholds: FailAfter=1 UpAfter=3", 1, 3, []step{
+			{"ok", StateUp, true},
+			{"fetchfail", StateDown, false},
+			{"ok", StateDown, false},
+			{"ok", StateDown, false},
+			{"ok", StateUp, true},
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := twoNode(t, deadURL, Config{FailAfter: tc.failAfter, UpAfter: tc.upAfter})
+			for i, s := range tc.steps {
+				switch s.ev {
+				case "ok":
+					c.noteSuccess("s1", false)
+				case "drain":
+					c.noteSuccess("s1", true)
+				case "fail":
+					c.noteFailure("s1", "probe refused")
+				case "fetchfail":
+					if _, ok := c.FetchResult(context.Background(), "s1", "evaluate|abc"); ok {
+						t.Fatalf("step %d: fetch against a dead listener succeeded", i)
+					}
+				default:
+					t.Fatalf("unknown event %q", s.ev)
+				}
+				if got := stateOf(c, "s1"); got != s.state {
+					t.Fatalf("step %d (%s): state %q, want %q", i, s.ev, got, s.state)
+				}
+				if got := c.Healthy("s1"); got != s.routable {
+					t.Fatalf("step %d (%s): routable %v, want %v", i, s.ev, got, s.routable)
+				}
+			}
+		})
+	}
+}
+
+// Peer metrics are labeled by shard id through the obs cardinality guard: a
+// runaway membership list degrades to the unlabeled series plus a
+// dropped-labels count instead of exploding the registry, and an id that is
+// not a valid label value collapses into peer="invalid".
+func TestPeerMetricLabelsBounded(t *testing.T) {
+	o := obs.New()
+	peers := []Peer{{ID: "s0"}}
+	for i := 0; i < 2*obs.DefaultSeriesLimit; i++ {
+		peers = append(peers, Peer{ID: fmt.Sprintf("mistyped-%03d", i), URL: "http://127.0.0.1:1"})
+	}
+	c, err := New(Config{Self: "s0", Peers: peers, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	snap := o.Metrics.Snapshot()
+	labeled, dropped := 0, false
+	for _, m := range snap.Metrics {
+		if m.Name == "cluster_peer_hits_total" && m.Labels["peer"] != "" {
+			labeled++
+		}
+		if m.Name == "obs_dropped_labels_total" && strings.HasPrefix(m.Labels["metric"], "cluster_") {
+			dropped = true
+		}
+	}
+	if labeled > obs.DefaultSeriesLimit {
+		t.Errorf("%d labeled cluster_peer_hits_total series, guard limit is %d", labeled, obs.DefaultSeriesLimit)
+	}
+	if labeled == 0 {
+		t.Error("no per-peer labeled series were pre-touched")
+	}
+	if !dropped {
+		t.Error("cardinality guard never recorded a dropped label set")
+	}
+}
+
+func TestPeerCounterInvalidID(t *testing.T) {
+	o := obs.New()
+	c := twoNode(t, "http://127.0.0.1:1", Config{Obs: o})
+	c.peerCounter("cluster_peer_errors_total", `bad{id}`).Inc()
+	found := false
+	for _, m := range o.Metrics.Snapshot().Metrics {
+		if m.Name == "cluster_peer_errors_total" && m.Labels["peer"] == "invalid" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal(`an invalid shard id did not collapse into peer="invalid"`)
+	}
+}
+
+func TestPeerIDsAndUpPeers(t *testing.T) {
+	cfg := Config{Self: "s1", Peers: []Peer{
+		{ID: "s1"},
+		{ID: "s0", URL: "http://127.0.0.1:1"},
+		{ID: "s2", URL: "http://127.0.0.1:2"},
+	}, Obs: obs.New()}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got := c.PeerIDs(); len(got) != 2 || got[0] != "s0" || got[1] != "s2" {
+		t.Fatalf("PeerIDs = %v, want [s0 s2]", got)
+	}
+	if got := c.UpPeers(); len(got) != 0 {
+		t.Fatalf("UpPeers before any probe = %v, want none", got)
+	}
+	c.SetHealthy("s2", true)
+	if got := c.UpPeers(); len(got) != 1 || got[0] != "s2" {
+		t.Fatalf("UpPeers = %v, want [s2]", got)
+	}
+}
+
+// Fetch is the federation transport: 200 returns the body, 404 is reported
+// via the status (not an error), transport errors feed the hysteresis, and
+// unknown peers fail fast.
+func TestFetch(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/traces/abc":
+			w.Write([]byte(`{"schema":"powerbench-trace-v1"}`))
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer peer.Close()
+	c := twoNode(t, peer.URL, Config{FailAfter: 1})
+	c.SetHealthy("s1", true)
+
+	body, status, err := c.Fetch(context.Background(), "s1", "/v1/traces/abc")
+	if err != nil || status != http.StatusOK || !strings.Contains(string(body), "powerbench-trace-v1") {
+		t.Fatalf("fetch hit: status=%d err=%v body=%q", status, err, body)
+	}
+	_, status, err = c.Fetch(context.Background(), "s1", "/v1/traces/zzz")
+	if err != nil || status != http.StatusNotFound {
+		t.Fatalf("fetch miss: status=%d err=%v", status, err)
+	}
+	if _, _, err := c.Fetch(context.Background(), "nobody", "/x"); err == nil {
+		t.Fatal("fetch from unknown peer succeeded")
+	}
+
+	peer.Close()
+	if _, _, err := c.Fetch(context.Background(), "s1", "/v1/traces/abc"); err == nil {
+		t.Fatal("fetch against a dead peer succeeded")
+	}
+	if c.Healthy("s1") {
+		t.Fatal("transport error did not feed the hysteresis (FailAfter=1)")
+	}
+}
+
+// OfferFlight PUTs the record to the owner's peer flight route with the id
+// escaped, best-effort.
+func TestOfferFlight(t *testing.T) {
+	got := make(chan string, 1)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			got <- r.URL.Path
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer peer.Close()
+	c := twoNode(t, peer.URL, Config{})
+	c.OfferFlight("s1", strings.Repeat("ab", 32), []byte(`{"schema":"powerbench-flight-v1"}`))
+	select {
+	case path := <-got:
+		if path != "/v1/peer/flights/"+strings.Repeat("ab", 32) {
+			t.Fatalf("offer path = %q", path)
+		}
+	default:
+		t.Fatal("owner never received the flight offer")
+	}
+	c.OfferFlight("nobody", "id", nil) // unknown owner: silent no-op
+}

@@ -1,0 +1,148 @@
+// Package fleet is the federation layer that makes any shard answer
+// cluster-wide observability queries (DESIGN.md §15). It builds on two
+// invariants the rest of the pipeline already guarantees:
+//
+//   - identity-derived trace ids: the requester's peer-fetch span and the
+//     owner's compute spans for the same canonical key share one trace id
+//     (tracectx.DeriveID), so the documents to join are found by equality,
+//     not correlation heuristics;
+//
+//   - identity-derived span ids: a span's id is a pure function of (trace
+//     id, path), so the same span stored on two shards is the same record
+//     and merging is idempotent.
+//
+// Stitching is therefore deterministic: every shard that holds the same set
+// of contributing documents assembles byte-identical federated output,
+// whatever order its peers answered in.
+package fleet
+
+import (
+	"sort"
+	"strings"
+
+	"powerbench/internal/tracectx"
+)
+
+// SourcedDoc is one shard's stored document for a trace id.
+type SourcedDoc struct {
+	Shard string
+	Doc   *tracectx.Doc
+}
+
+// Stitch merges per-shard documents sharing one trace id into a single
+// canonical tree. Contributions are ordered by (span count desc, tree hash,
+// shard id) — never arrival order — and spans merge by path: the first
+// (richest) contributor wins a span's fields outright, later contributors
+// only fill attr keys the winner lacks. Request metadata takes the first
+// non-empty value in the same order, except Reason, which becomes the
+// sorted union of retention reasons ("cache-miss+peer" documents both sides
+// of a cross-shard request). Tree and pipeline hashes are recomputed over
+// the merged span set. Nil documents are skipped; all-nil input returns nil.
+func Stitch(contribs []SourcedDoc) *tracectx.Doc {
+	docs := make([]SourcedDoc, 0, len(contribs))
+	for _, c := range contribs {
+		if c.Doc != nil {
+			docs = append(docs, c)
+		}
+	}
+	if len(docs) == 0 {
+		return nil
+	}
+	sort.SliceStable(docs, func(i, j int) bool {
+		a, b := docs[i], docs[j]
+		if len(a.Doc.Spans) != len(b.Doc.Spans) {
+			return len(a.Doc.Spans) > len(b.Doc.Spans)
+		}
+		if a.Doc.TreeHash != b.Doc.TreeHash {
+			return a.Doc.TreeHash < b.Doc.TreeHash
+		}
+		return a.Shard < b.Shard
+	})
+
+	out := &tracectx.Doc{
+		Schema: tracectx.Schema,
+		Trace:  docs[0].Doc.Trace,
+	}
+	merged := map[string]int{} // span path -> index in out.Spans
+	reasons := map[string]bool{}
+	shards := map[string]bool{}
+	for _, c := range docs {
+		d := c.Doc
+		if c.Shard != "" {
+			shards[c.Shard] = true
+		}
+		if out.Key == "" {
+			out.Key = d.Key
+		}
+		if out.Status == 0 {
+			out.Status = d.Status
+		}
+		if out.Flight == "" {
+			out.Flight = d.Flight
+		}
+		if out.Origin == "" {
+			out.Origin = d.Origin
+		}
+		for _, r := range strings.Split(d.Reason, "+") {
+			if r != "" {
+				reasons[r] = true
+			}
+		}
+		for _, s := range d.Spans {
+			i, seen := merged[s.Path]
+			if !seen {
+				cp := s
+				cp.Attrs = copyAttrs(s.Attrs)
+				merged[s.Path] = len(out.Spans)
+				out.Spans = append(out.Spans, cp)
+				continue
+			}
+			// The winner keeps its fields; fill only attr keys it lacks
+			// (e.g. the owner's compute attrs on a requester's stub span).
+			w := &out.Spans[i]
+			for k, v := range s.Attrs {
+				if _, ok := w.Attrs[k]; !ok {
+					if w.Attrs == nil {
+						w.Attrs = map[string]any{}
+					}
+					w.Attrs[k] = v
+				}
+			}
+		}
+	}
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Path < out.Spans[j].Path })
+	for _, s := range out.Spans {
+		if s.Parent == "" {
+			out.DurationUS = s.DurUS
+			break
+		}
+	}
+	if len(reasons) > 0 {
+		rs := make([]string, 0, len(reasons))
+		for r := range reasons {
+			rs = append(rs, r)
+		}
+		sort.Strings(rs)
+		out.Reason = strings.Join(rs, "+")
+	}
+	if len(shards) > 0 {
+		out.Shards = make([]string, 0, len(shards))
+		for s := range shards {
+			out.Shards = append(out.Shards, s)
+		}
+		sort.Strings(out.Shards)
+	}
+	out.Rehash()
+	return out
+}
+
+func copyAttrs(attrs map[string]any) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		m[k] = v
+	}
+	return m
+}

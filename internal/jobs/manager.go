@@ -212,10 +212,15 @@ type Summary struct {
 	Counts   Counts `json:"counts"`
 }
 
-// Health is the jobs block of /healthz.
+// Health is the jobs block of /healthz and of the fleet overview.
 type Health struct {
-	QueueDepth        int  `json:"queue_depth"`
-	ActiveCampaigns   int  `json:"active_campaigns"`
+	QueueDepth      int `json:"queue_depth"`
+	ActiveCampaigns int `json:"active_campaigns"`
+	// TotalPoints/DonePoints are the sweep progress of the non-terminal
+	// campaigns, so a fleet rollup can report cluster-wide campaign
+	// progress without polling every campaign on every shard.
+	TotalPoints       int  `json:"total_points"`
+	DonePoints        int  `json:"done_points"`
 	WALSegments       int  `json:"wal_segments"`
 	ReadOnly          bool `json:"read_only"`
 	QuarantinedPoints int  `json:"quarantined_points"`
@@ -702,6 +707,8 @@ func (m *Manager) Health() Health {
 		if !c.terminal() {
 			h.ActiveCampaigns++
 			h.QueueDepth += len(c.points) - c.done - c.quarantined - c.cancelled - c.running
+			h.TotalPoints += len(c.points)
+			h.DonePoints += c.done
 		}
 		h.QuarantinedPoints += c.quarantined
 	}

@@ -1,0 +1,161 @@
+package obs
+
+import "sort"
+
+// MergeSnapshot combines per-shard registry snapshots into one fleet-wide
+// view, keyed by shard id:
+//
+//   - counters with the same (name, labels) sum across shards — fleet totals
+//     equal the sum of the per-shard scrapes by construction;
+//   - gauges are point-in-time per-process readings that cannot be summed
+//     meaningfully, so each keeps its value and gains a `shard` label;
+//   - histograms with the same (name, labels) and identical bucket bounds
+//     merge bucket-wise (cumulative counts, sums and totals add; the
+//     exemplar with the largest observed value survives). Shards whose
+//     bounds disagree — a mixed-version fleet — degrade to per-shard series
+//     with a `shard` label instead of silently mixing geometries.
+//
+// The result is ordered by (name, sorted labels) like Registry.Snapshot, so
+// merging the same inputs always yields the same bytes. Input snapshots are
+// not mutated. Events are not merged: they are process-local history.
+func MergeSnapshot(shards map[string]Snapshot) Snapshot {
+	ids := make([]string, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	type sourced struct {
+		shard string
+		m     SnapshotMetric
+	}
+	groups := map[string][]sourced{}
+	var keys []string
+	for _, id := range ids {
+		for _, m := range shards[id].Metrics {
+			k := m.Type + "\x00" + mapKey(m.Name, m.Labels)
+			if _, ok := groups[k]; !ok {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], sourced{shard: id, m: m})
+		}
+	}
+
+	var out []SnapshotMetric
+	for _, k := range keys {
+		group := groups[k]
+		switch group[0].m.Type {
+		case "counter":
+			merged := group[0].m
+			merged.Labels = copyLabels(merged.Labels)
+			for _, s := range group[1:] {
+				merged.Value += s.m.Value
+			}
+			out = append(out, merged)
+		case "gauge":
+			for _, s := range group {
+				g := s.m
+				g.Labels = withShardLabel(g.Labels, s.shard)
+				out = append(out, g)
+			}
+		case "histogram":
+			metrics := make([]SnapshotMetric, len(group))
+			for i, s := range group {
+				metrics[i] = s.m
+			}
+			if bucketsAligned(metrics) {
+				merged := group[0].m
+				merged.Labels = copyLabels(merged.Labels)
+				merged.Buckets = append([]SnapshotBucket(nil), merged.Buckets...)
+				best := group[0].m.Exemplar
+				for _, s := range group[1:] {
+					merged.Sum += s.m.Sum
+					merged.Count += s.m.Count
+					for i := range merged.Buckets {
+						merged.Buckets[i].Count += s.m.Buckets[i].Count
+					}
+					if e := s.m.Exemplar; e != nil && (best == nil || e.Value > best.Value) {
+						best = e
+					}
+				}
+				merged.Exemplar = best
+				out = append(out, merged)
+			} else {
+				for _, s := range group {
+					h := s.m
+					h.Labels = withShardLabel(h.Labels, s.shard)
+					out = append(out, h)
+				}
+			}
+		default:
+			// Unknown types pass through untouched, shard-labeled so they
+			// cannot collide.
+			for _, s := range group {
+				m := s.m
+				m.Labels = withShardLabel(m.Labels, s.shard)
+				out = append(out, m)
+			}
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		return mapKey(out[i].Name, out[i].Labels) < mapKey(out[j].Name, out[j].Labels)
+	})
+	return Snapshot{Metrics: out}
+}
+
+// mapKey is metricKey for snapshot-form (map) labels: name plus sorted
+// key/value pairs with unprintable separators.
+func mapKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := make([]byte, 0, len(name)+16*len(keys))
+	b = append(b, name...)
+	for _, k := range keys {
+		b = append(b, 0)
+		b = append(b, k...)
+		b = append(b, 1)
+		b = append(b, labels[k]...)
+	}
+	return string(b)
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for k, v := range labels {
+		m[k] = v
+	}
+	return m
+}
+
+func withShardLabel(labels map[string]string, shard string) map[string]string {
+	m := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		m[k] = v
+	}
+	m["shard"] = shard
+	return m
+}
+
+// bucketsAligned reports whether every histogram in the group shares the
+// first member's bucket bounds.
+func bucketsAligned(group []SnapshotMetric) bool {
+	ref := group[0]
+	for _, m := range group[1:] {
+		if len(m.Buckets) != len(ref.Buckets) {
+			return false
+		}
+		for i, b := range m.Buckets {
+			if b.UpperBound != ref.Buckets[i].UpperBound {
+				return false
+			}
+		}
+	}
+	return true
+}

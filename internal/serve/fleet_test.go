@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"powerbench/internal/cluster"
+	"powerbench/internal/core"
+	"powerbench/internal/fleet"
+	"powerbench/internal/obs"
+	"powerbench/internal/server"
+	"powerbench/internal/tracectx"
+)
+
+// getBody performs a GET and returns (status, body, header).
+func getBody(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// sumCounter reads one unlabeled counter from a registry snapshot.
+func sumCounter(snap obs.Snapshot, name string) float64 {
+	for _, m := range snap.Metrics {
+		if m.Name == name && len(m.Labels) == 0 {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// The fleet observability plane, end to end over a real 3-shard mesh: a
+// cross-shard request's trace stitches into one canonical tree that every
+// shard serves byte-identically (and whose pipeline hash matches a
+// standalone daemon's); the flight record replicates to the key's owner and
+// resolves from any shard; /v1/fleet sums the per-shard registries; and
+// killing a shard degrades every federated surface to an explicit partial
+// result with zero request failures.
+func TestFleetFederationThreeShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-shard cluster over the real pipeline")
+	}
+	nodes := startShards(t, 3)
+	seed, key := ownedSeed(t, nodes[0].srv.cluster, "s1")
+	fid := flightID(key)
+
+	// Compute on a NON-owner while the owner's cache is cold: s0 falls back
+	// to local compute and writes result + flight back to the owner s1.
+	resp := postEval(t, nodes[0].url, seed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-owner compute: status %d", resp.StatusCode)
+	}
+	tid := resp.Header.Get(traceHeader)
+	if resp.Header.Get(flightHeader) != fid {
+		t.Fatalf("flight header %q, want %s", resp.Header.Get(flightHeader), fid)
+	}
+	readAll(t, resp)
+
+	// The flight record lands on the owner (asynchronously) and is served
+	// from its local store — replication, not read-through.
+	deadline := time.Now().Add(10 * time.Second)
+	var ownerFlight string
+	for {
+		code, body, _ := getBody(t, nodes[1].url+"/v1/peer/flights/"+fid)
+		if code == http.StatusOK {
+			ownerFlight = body
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight record never replicated to the owner")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, local, _ := getBody(t, nodes[0].url+"/v1/flights/"+fid); code != http.StatusOK || local != ownerFlight {
+		t.Fatalf("replicated flight differs from the recorder's copy (status %d)", code)
+	}
+
+	// A second shard now serves the same key via peer fetch from the owner
+	// (the write-back warmed it), leaving a requester-side trace with a
+	// cluster-category peer span.
+	resp = postEval(t, nodes[2].url, seed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("s2 request: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "peer" {
+		t.Fatalf("s2 cache state %q, want peer", got)
+	}
+	readAll(t, resp)
+
+	// Acceptance: the federated trace is byte-identical from every shard —
+	// owner, requester, and a shard holding no contribution at all.
+	bodies := make([]string, 3)
+	for i, nd := range nodes {
+		code, body, _ := getBody(t, nd.url+"/v1/traces/"+tid)
+		if code != http.StatusOK {
+			t.Fatalf("%s trace fetch: status %d: %s", nd.id, code, body)
+		}
+		bodies[i] = body
+	}
+	if bodies[0] != bodies[1] || bodies[1] != bodies[2] {
+		t.Fatal("federated trace bytes differ across shards")
+	}
+	var stitched tracectx.Doc
+	if err := json.Unmarshal([]byte(bodies[0]), &stitched); err != nil {
+		t.Fatal(err)
+	}
+	if stitched.Partial {
+		t.Error("full mesh stitch marked partial")
+	}
+	if len(stitched.Shards) != 2 || stitched.Shards[0] != "s0" || stitched.Shards[1] != "s2" {
+		t.Errorf("contributing shards = %v, want [s0 s2]", stitched.Shards)
+	}
+	if stitched.Reason != "cache-miss+peer" {
+		t.Errorf("stitched reason %q, want cache-miss+peer", stitched.Reason)
+	}
+
+	// The pipeline hash — the computation's identity with cluster transport
+	// spans excluded — matches a standalone daemon's trace exactly.
+	solo := newTestServer(t, Config{})
+	rec := do(solo, "POST", "/v1/evaluate", fmt.Sprintf(`{"server":"Xeon-E5462","seed":%g}`, seed))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("standalone: status %d", rec.Code)
+	}
+	srec := do(solo, "GET", "/v1/traces/"+tid, "")
+	if srec.Code != http.StatusOK {
+		t.Fatalf("standalone trace: status %d", srec.Code)
+	}
+	var soloDoc tracectx.Doc
+	if err := json.Unmarshal(srec.Body.Bytes(), &soloDoc); err != nil {
+		t.Fatal(err)
+	}
+	if soloDoc.PipelineHash == "" || soloDoc.PipelineHash != stitched.PipelineHash {
+		t.Errorf("pipeline hash: stitched %s, standalone %s", stitched.PipelineHash, soloDoc.PipelineHash)
+	}
+	if soloDoc.TreeHash == stitched.TreeHash {
+		t.Error("tree hash ignored the cluster spans")
+	}
+
+	// The federated listing dedupes the trace across shards and names every
+	// reporting member.
+	code, body, _ := getBody(t, nodes[1].url+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("federated listing: status %d", code)
+	}
+	var listing fleet.Listing
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Partial {
+		t.Error("full mesh listing marked partial")
+	}
+	if listing.Count != 1 || len(listing.Shards) != 3 {
+		t.Errorf("listing count=%d shards=%v", listing.Count, listing.Shards)
+	}
+
+	// Acceptance: /v1/fleet counter totals equal the sum over the shards'
+	// own registries.
+	var wantCompute, wantMisses float64
+	for _, nd := range nodes {
+		snap := nd.srv.obs.Metrics.Snapshot()
+		wantCompute += sumCounter(snap, "serve_compute_total")
+		wantMisses += sumCounter(snap, "serve_cache_misses_total")
+	}
+	code, body, _ = getBody(t, nodes[0].url+"/v1/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/fleet: status %d", code)
+	}
+	var ov fleet.Overview
+	if err := json.Unmarshal([]byte(body), &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Schema != fleet.OverviewSchema || ov.Shard != "s0" || ov.Members != 3 || ov.PeersUp != 2 || ov.Partial {
+		t.Fatalf("overview header: schema=%s shard=%s members=%d up=%d partial=%v",
+			ov.Schema, ov.Shard, ov.Members, ov.PeersUp, ov.Partial)
+	}
+	if len(ov.Shards) != 3 {
+		t.Fatalf("overview shard rows: %+v", ov.Shards)
+	}
+	if got := sumCounter(ov.Metrics, "serve_compute_total"); got != wantCompute {
+		t.Errorf("fleet serve_compute_total = %v, want %v (sum of shards)", got, wantCompute)
+	}
+	if got := sumCounter(ov.Metrics, "serve_cache_misses_total"); got != wantMisses {
+		t.Errorf("fleet serve_cache_misses_total = %v, want %v (sum of shards)", got, wantMisses)
+	}
+
+	// Acceptance: kill a shard. Every federated surface keeps answering —
+	// zero failures — and marks itself partial once the prober notices.
+	nodes[2].hs.Close()
+	nodes[2].srv.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for nodes[0].srv.cluster.Healthy("s2") {
+		if time.Now().After(deadline) {
+			t.Fatal("s0 never saw s2 go down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, body, _ = getBody(t, nodes[0].url+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("listing with a dead shard: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if !listing.Partial {
+		t.Error("listing with a dead member not marked partial")
+	}
+	if len(listing.Shards) != 2 || listing.Shards[0] != "s0" || listing.Shards[1] != "s1" {
+		t.Errorf("surviving reporters = %v", listing.Shards)
+	}
+
+	code, body, _ = getBody(t, nodes[0].url+"/v1/traces/"+tid)
+	if code != http.StatusOK {
+		t.Fatalf("trace with a dead shard: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &stitched); err != nil {
+		t.Fatal(err)
+	}
+	if !stitched.Partial {
+		t.Error("stitch missing a dead contributor not marked partial")
+	}
+
+	code, body, _ = getBody(t, nodes[0].url+"/v1/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("fleet with a dead shard: status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &ov); err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Partial {
+		t.Error("overview with a dead member not marked partial")
+	}
+	var s2row *fleet.ShardStatus
+	for i := range ov.Shards {
+		if ov.Shards[i].Shard == "s2" {
+			s2row = &ov.Shards[i]
+		}
+	}
+	if s2row == nil || (s2row.State != cluster.StateDown && s2row.State != "unreachable") {
+		t.Errorf("dead member row: %+v", s2row)
+	}
+}
+
+// A standalone daemon's observability surfaces are untouched by the fleet
+// plane: /v1/traces keeps its exact pre-federation shape (no partial, no
+// shards, no shard column) and /v1/fleet still answers — a fleet of one.
+func TestFleetStandaloneShape(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := do(s, "GET", "/v1/traces", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"partial", "shards"} {
+		if _, ok := raw[forbidden]; ok {
+			t.Errorf("standalone listing leaked %q", forbidden)
+		}
+	}
+
+	rec = do(s, "GET", "/v1/fleet", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/fleet standalone: status %d", rec.Code)
+	}
+	var ov fleet.Overview
+	if err := json.Unmarshal(rec.Body.Bytes(), &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Members != 1 || len(ov.Shards) != 1 || ov.Shards[0].State != "self" || ov.Partial {
+		t.Errorf("standalone overview: %+v", ov)
+	}
+}
+
+// The peer flight PUT validates its payload as flight JSONL: garbage is
+// rejected before it can reach the store or FlightDir.
+func TestPeerFlightPutValidates(t *testing.T) {
+	s := newTestServer(t, Config{})
+	id := flightID("evaluate|deadbeef")
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"not json", "not a flight record\n"},
+		{"wrong schema", `{"schema":"bogus"}` + "\n"},
+	}
+	for _, tc := range cases {
+		rec := do(s, "PUT", "/v1/peer/flights/"+id, tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, rec.Code)
+		}
+	}
+	if rec := do(s, "GET", "/v1/peer/flights/"+id, ""); rec.Code != http.StatusNotFound {
+		t.Errorf("rejected payload reached the store: status %d", rec.Code)
+	}
+	if rec := do(s, "PUT", "/v1/peer/flights/zz", "{}"); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed id: status %d, want 400", rec.Code)
+	}
+}
+
+// BenchmarkFlightReplication isolates the cost of the flight-record half
+// of the off-owner write-back: both arms run the identical peer-owned seed
+// sequence over the same mesh shape (fetch-miss → local compute →
+// write-back), with flight replication suppressed in the baseline arm. CI
+// gates the delta at ≤3%: replication is a background offer riding an
+// already-open goroutine, not request-path work.
+func BenchmarkFlightReplication(b *testing.B) {
+	spec, err := server.ByName("Xeon-E5462")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The ring is a pure function of the membership ids, so ownership can
+	// be precomputed before any server exists.
+	ringOnly, err := cluster.New(cluster.Config{
+		Self:          "self",
+		Peers:         []cluster.Peer{{ID: "self"}, {ID: "owner", URL: "http://127.0.0.1:1"}},
+		Obs:           obs.New(),
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ownedSeeds []float64
+	cursor := 0.0
+	seedAt := func(i int) float64 {
+		for len(ownedSeeds) <= i {
+			cursor++
+			key := "evaluate|" + core.CanonicalHash(spec, cursor, core.HashOpts{Method: "evaluate"})
+			if ringOnly.Owner(key) == "owner" {
+				ownedSeeds = append(ownedSeeds, cursor)
+			}
+		}
+		return ownedSeeds[i]
+	}
+
+	run := func(b *testing.B, s *Server) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			// A fresh peer-owned seed each iteration keeps every request a
+			// cold compute on the write-back path; the cache never
+			// short-circuits it.
+			body := fmt.Sprintf(`{"server":"Xeon-E5462","seed":%g}`, seedAt(i))
+			req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+
+	// The peer owns every benchmarked key but can serve none of them:
+	// every GET misses (404) and every computed result (and, in the
+	// replicated arm, flight) is offered back, so each iteration exercises
+	// the complete write-back path.
+	newArm := func(b *testing.B, noReplication bool) *Server {
+		b.Helper()
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"status":"ok"}`))
+		})
+		mux.HandleFunc("GET /v1/peer/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "cold", http.StatusNotFound)
+		})
+		mux.HandleFunc("PUT /v1/peer/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			w.WriteHeader(http.StatusNoContent)
+		})
+		mux.HandleFunc("PUT /v1/peer/flights/{id}", func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			w.WriteHeader(http.StatusNoContent)
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := &http.Server{Handler: mux}
+		go sink.Serve(ln)
+		b.Cleanup(func() { sink.Close() })
+
+		cl, err := cluster.New(cluster.Config{
+			Self:          "self",
+			Peers:         []cluster.Peer{{ID: "self"}, {ID: "owner", URL: "http://" + ln.Addr().String()}},
+			Obs:           obs.New(),
+			ProbeInterval: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.SetHealthy("owner", true)
+		s, err := New(Config{Obs: obs.New(), Jobs: 2, Cluster: cl})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.noFlightReplication = noReplication
+		b.Cleanup(s.Close)
+		return s
+	}
+
+	b.Run("baseline", func(b *testing.B) {
+		s := newArm(b, true)
+		b.ResetTimer()
+		run(b, s)
+	})
+	b.Run("replicated", func(b *testing.B) {
+		s := newArm(b, false)
+		b.ResetTimer()
+		run(b, s)
+	})
+}

@@ -53,18 +53,21 @@ func (s *Server) storeFlight(id string, rec *flight.Recorder) {
 	}
 }
 
-// handleFlight serves a stored flight-record stream by id, falling back to
-// FlightDir when the in-memory store has evicted it.
+// handleFlight serves a stored flight-record stream by id: the in-memory
+// store, then FlightDir, then — on a sharded daemon — a read-through to the
+// peers' stores. The flight id is a content hash (not reversible to an
+// owning shard), so the peer hop fans out; whichever shard recorded the
+// flight holds byte-identical records, so any copy is the right copy.
 func (s *Server) handleFlight(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	if !validFlightID(id) {
 		writeError(w, http.StatusBadRequest, "flight id must be 64 lowercase hex characters")
 		return
 	}
-	data, ok := s.flightRecs.Get(id)
-	if !ok && s.cfg.FlightDir != "" {
-		// The id is validated hex, so the join cannot escape FlightDir.
-		if b, err := os.ReadFile(filepath.Join(s.cfg.FlightDir, id+".jsonl")); err == nil {
+	data, ok := s.localFlight(id)
+	if !ok && !s.fleet.Standalone() {
+		if b, shard, _, found := s.fleet.Flight(req.Context(), id); found {
+			w.Header().Set(peerHeader, shard)
 			data, ok = b, true
 		}
 	}

@@ -45,6 +45,7 @@ import (
 
 	"powerbench/internal/cluster"
 	"powerbench/internal/core"
+	"powerbench/internal/fleet"
 	"powerbench/internal/flight"
 	"powerbench/internal/jobs"
 	"powerbench/internal/obs"
@@ -188,6 +189,9 @@ type Server struct {
 	// cluster is the sharding/peering layer; never nil (standalone when
 	// unconfigured).
 	cluster *cluster.Cluster
+	// fleet answers cluster-wide observability queries (federated traces,
+	// flight read-through, the /v1/fleet rollup); never nil.
+	fleet *fleet.Federator
 	// recovery summarizes what the jobs WAL replayed at boot.
 	recovery jobs.Recovery
 	// draining flips once shutdown starts; /healthz reports it so load
@@ -206,6 +210,10 @@ type Server struct {
 	cancelBase context.CancelFunc
 	// wg tracks flight goroutines for shutdown draining.
 	wg sync.WaitGroup
+
+	// noFlightReplication suppresses the flight-record half of the
+	// off-owner write-back; a benchmark seam isolating its cost.
+	noFlightReplication bool
 
 	// Pipeline seams, overridable by tests.
 	evalFn func(ctx context.Context, spec *server.Spec, seed float64, opts core.EvalOptions) (*core.Evaluation, error)
@@ -237,6 +245,16 @@ func New(cfg Config) (*Server, error) {
 		s.cluster = cluster.Standalone("", cfg.Obs)
 	}
 	s.cluster.Start()
+	// The federator reads the live stores through closures, so it sees
+	// exactly what the local routes serve — no second bookkeeping path.
+	s.fleet = fleet.New(fleet.Config{
+		Cluster:      s.cluster,
+		Obs:          cfg.Obs,
+		LocalTrace:   s.traces.Get,
+		LocalListing: s.localListing,
+		LocalFlight:  s.localFlight,
+		LocalStatus:  s.shardObs,
+	})
 	if cfg.Obs != nil {
 		s.slo = obs.NewSLOTracker(cfg.Obs.Metrics, cfg.SLO)
 		// The daemon may be handed a bare registry that never went through
@@ -310,6 +328,15 @@ func New(cfg Config) (*Server, error) {
 	// misses as availability burn would poison the burn-rate gauges.
 	s.mux.Handle("GET /v1/peer/results/{key}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerGet)))
 	s.mux.Handle("PUT /v1/peer/results/{key}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerPut)))
+	// The fleet observability routes (DESIGN.md §15): the peer side answers
+	// local stores only (a fan-out never recurses), the public /v1/fleet
+	// rollup is an API route like any other.
+	s.mux.Handle("GET /v1/peer/traces", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerTraces)))
+	s.mux.Handle("GET /v1/peer/traces/{id}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerTrace)))
+	s.mux.Handle("GET /v1/peer/flights/{id}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerFlightGet)))
+	s.mux.Handle("PUT /v1/peer/flights/{id}", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerFlightPut)))
+	s.mux.Handle("GET /v1/peer/obs", obs.HTTPMetrics(s.obs, "/v1/peer", http.HandlerFunc(s.handlePeerObs)))
+	s.route("GET /v1/fleet", "/v1/fleet", s.handleFleet)
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.HTTPMetrics(s.obs, "/metrics", s.metricsHandler()))
 	if cfg.EnableProfiling {
@@ -579,7 +606,10 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn, t 
 	// would have computed.
 	owner := s.cluster.Owner(f.key)
 	if owner != s.cluster.Self() && s.cluster.Healthy(owner) {
-		ps := t.tr.Root().Child("peer").Attr("owner", owner)
+		// The peer span is categorized "cluster" so the pipeline hash — the
+		// identity of the computation itself — excludes it: a stitched
+		// cross-shard tree and a standalone compute hash the same pipeline.
+		ps := t.tr.Root().ChildCat("peer", tracectx.CatCluster).Attr("owner", owner)
 		fetchStart := time.Now()
 		if body, ok := s.cluster.FetchResult(ctx, owner, f.key); ok {
 			ps.Attr("result", "hit").End()
@@ -633,12 +663,22 @@ func (s *Server) runFlight(ctx context.Context, f *serveFlight, fn computeFn, t 
 			// Ownership-violating write: this shard computed a key the
 			// ring assigns elsewhere (owner was down or its cache cold).
 			// Forward the bytes so future readers find them where the
-			// ring sends them; best-effort and off the request path.
+			// ring sends them; best-effort and off the request path. The
+			// flight record rides along so forensics follow the result —
+			// a reader the ring routes to the owner finds both.
 			fwd := body
+			var frec []byte
+			if rec.Len() > 0 && !s.noFlightReplication {
+				frec = rec.Bytes()
+			}
+			fid := flightID(f.key)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
 				s.cluster.OfferResult(owner, f.key, fwd)
+				if len(frec) > 0 {
+					s.cluster.OfferFlight(owner, fid, frec)
+				}
 			}()
 		}
 	}

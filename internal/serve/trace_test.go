@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"powerbench/internal/fleet"
 	"powerbench/internal/tracectx"
 )
 
@@ -156,7 +157,7 @@ func itoa(i int) string {
 func TestTraceStoreBounds(t *testing.T) {
 	ts := newTraceStore(2)
 	put := func(id, doc string, spans int) int {
-		return ts.Put(id, []byte(doc), traceMeta{Trace: id, Spans: spans})
+		return ts.Put(id, []byte(doc), fleet.TraceSummary{Trace: id, Spans: spans})
 	}
 	if put("a", "aaaa", 5) != 0 || put("b", "bb", 1) != 0 {
 		t.Fatalf("unexpected eviction while under bound")
@@ -206,9 +207,9 @@ func TestTraceEndpoints(t *testing.T) {
 		t.Fatalf("list: status %d", rec.Code)
 	}
 	var listing struct {
-		Count  int         `json:"count"`
-		Bytes  int64       `json:"bytes"`
-		Traces []traceMeta `json:"traces"`
+		Count  int                  `json:"count"`
+		Bytes  int64                `json:"bytes"`
+		Traces []fleet.TraceSummary `json:"traces"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
 		t.Fatalf("parsing listing: %v", err)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"powerbench/internal/fleet"
 	"powerbench/internal/obs"
 	"powerbench/internal/tracectx"
 )
@@ -61,17 +62,6 @@ func keyFraction(key string) float64 {
 	return float64(binary.BigEndian.Uint64(sum[:8])) / float64(1<<63) / 2
 }
 
-// traceMeta is one row of the GET /v1/traces listing.
-type traceMeta struct {
-	Trace      string `json:"trace"`
-	Root       string `json:"root"`
-	Status     int    `json:"status"`
-	Reason     string `json:"reason"`
-	DurationUS int64  `json:"duration_us"`
-	Flight     string `json:"flight,omitempty"`
-	Spans      int    `json:"spans"`
-}
-
 // traceStore is the bounded trace repository: trace id → exported document
 // bytes, LRU-evicted by entry count with byte accounting for the health
 // surface. Because trace ids are content addresses, a hit and a later miss
@@ -89,7 +79,7 @@ type traceStore struct {
 type traceEntry struct {
 	id   string
 	doc  []byte
-	meta traceMeta
+	meta fleet.TraceSummary
 }
 
 func newTraceStore(capacity int) *traceStore {
@@ -105,7 +95,7 @@ func newTraceStore(capacity int) *traceStore {
 
 // Put stores doc under id and returns how many entries were evicted. An
 // existing entry is replaced only by a richer document (more spans).
-func (t *traceStore) Put(id string, doc []byte, meta traceMeta) int {
+func (t *traceStore) Put(id string, doc []byte, meta fleet.TraceSummary) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if el, ok := t.items[id]; ok {
@@ -143,10 +133,10 @@ func (t *traceStore) Get(id string) ([]byte, bool) {
 }
 
 // List returns the stored traces' metadata sorted by trace id.
-func (t *traceStore) List() []traceMeta {
+func (t *traceStore) List() []fleet.TraceSummary {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]traceMeta, 0, len(t.items))
+	out := make([]fleet.TraceSummary, 0, len(t.items))
 	for _, el := range t.items {
 		out = append(out, el.Value.(*traceEntry).meta)
 	}
@@ -206,9 +196,10 @@ func (s *Server) storeTrace(tr *tracectx.Trace, route, key string, status int, f
 		s.obs.Infof("trace %s not stored: %v", doc.Trace, err)
 		return
 	}
-	evicted := s.traces.Put(doc.Trace, body, traceMeta{
+	evicted := s.traces.Put(doc.Trace, body, fleet.TraceSummary{
 		Trace: doc.Trace, Root: route, Status: status, Reason: reason,
 		DurationUS: doc.DurationUS, Flight: doc.Flight, Spans: len(doc.Spans),
+		Shard: s.cluster.Self(),
 	})
 	s.obs.Counter("serve_traces_stored_total", obs.L("reason", reason)).Inc()
 	s.obs.Counter("serve_trace_evictions_total").Add(int64(evicted))
@@ -216,13 +207,16 @@ func (s *Server) storeTrace(tr *tracectx.Trace, route, key string, status int, f
 	s.obs.Gauge("serve_trace_bytes").Set(float64(s.traces.Bytes()))
 }
 
-// handleTraces lists the stored traces with store occupancy.
-func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
-	body, err := marshalBody(struct {
-		Count  int         `json:"count"`
-		Bytes  int64       `json:"bytes"`
-		Traces []traceMeta `json:"traces"`
-	}{s.traces.Len(), s.traces.Bytes(), s.traces.List()})
+// handleTraces lists the stored traces with store occupancy. On a sharded
+// daemon the listing is federated: every up peer's store is merged in,
+// deduped by trace id, with the partial marker when some member could not
+// contribute. A standalone daemon serves its local store unchanged.
+func (s *Server) handleTraces(w http.ResponseWriter, req *http.Request) {
+	l := s.localListing()
+	if !s.fleet.Standalone() {
+		l = s.fleet.List(req.Context())
+	}
+	body, err := marshalBody(l)
 	if err != nil {
 		fail(w, err)
 		return
@@ -230,11 +224,28 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	writeBody(w, http.StatusOK, "", body)
 }
 
-// handleTrace serves one stored trace document by id.
+// handleTrace serves one trace document by id. On a sharded daemon the
+// response is the federated stitch: this shard's stored document (if any)
+// merged with every up peer's contribution for the same id, so a client can
+// ask any shard and receive the whole cross-shard tree.
 func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
 	if !validTraceID(id) {
 		writeError(w, http.StatusBadRequest, "trace id must be 32 lowercase hex characters")
+		return
+	}
+	if !s.fleet.Standalone() {
+		doc, found := s.fleet.Trace(req.Context(), id)
+		if !found {
+			writeError(w, http.StatusNotFound, "no trace retained under "+id+" (tail sampling keeps error/faulted/slow/cache-miss traces)")
+			return
+		}
+		body, err := marshalBody(doc)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeBody(w, http.StatusOK, "", body)
 		return
 	}
 	doc, ok := s.traces.Get(id)

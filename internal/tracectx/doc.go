@@ -53,8 +53,18 @@ type Doc struct {
 	// categories and attrs in path order, with all wall timings and request
 	// metadata stripped. Identical pipeline work yields an identical hash at
 	// any worker count.
-	TreeHash string    `json:"tree_hash"`
-	Spans    []SpanDoc `json:"spans"`
+	TreeHash string `json:"tree_hash"`
+	// PipelineHash is the tree hash with CatCluster (cross-shard transport)
+	// spans excluded: the identity of the computation itself, equal across a
+	// standalone daemon, the owning shard, and a stitched federated view.
+	PipelineHash string `json:"pipeline_hash,omitempty"`
+	// Partial marks a federated document assembled while one or more shards
+	// were unreachable; the spans present are still canonical.
+	Partial bool `json:"partial,omitempty"`
+	// Shards lists the shard ids whose stores contributed spans to a
+	// stitched document (sorted; empty on single-process exports).
+	Shards []string  `json:"shards,omitempty"`
+	Spans  []SpanDoc `json:"spans"`
 }
 
 // Export snapshots the trace into its document form: spans sorted by path,
@@ -114,8 +124,35 @@ func (t *Trace) Export() *Doc {
 			break
 		}
 	}
-	doc.TreeHash = treeHash(docs)
+	doc.Rehash()
 	return doc
+}
+
+// Rehash recomputes TreeHash and PipelineHash from the document's current
+// span set. Export calls it; the fleet layer calls it again after stitching
+// spans from several shards into one document.
+func (d *Doc) Rehash() {
+	if d == nil {
+		return
+	}
+	d.TreeHash = treeHash(d.Spans)
+	pipeline := d.Spans
+	for _, s := range d.Spans {
+		if s.Cat == CatCluster {
+			pipeline = make([]SpanDoc, 0, len(d.Spans))
+			for _, p := range d.Spans {
+				if p.Cat != CatCluster {
+					pipeline = append(pipeline, p)
+				}
+			}
+			break
+		}
+	}
+	if len(pipeline) == len(d.Spans) {
+		d.PipelineHash = d.TreeHash
+	} else {
+		d.PipelineHash = treeHash(pipeline)
+	}
 }
 
 // canonicalSpan is a SpanDoc stripped to its scheduling-independent fields.

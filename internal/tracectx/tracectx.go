@@ -77,6 +77,12 @@ func DeriveSpanID(trace ID, path string) SpanID {
 	return id
 }
 
+// CatCluster marks spans that describe cross-shard transport (peer fetches,
+// federation fan-out). The fleet layer's pipeline hash excludes this
+// category, so a request computed through a peer and the same request
+// computed locally hash to the same pipeline identity.
+const CatCluster = "cluster"
+
 // Trace collects the spans of one request. Spans may be created and ended
 // from any goroutine; the trace serializes its span list under a mutex.
 type Trace struct {
@@ -171,6 +177,19 @@ func (s *Span) Child(name string) *Span {
 	c.startNS = int64(time.Since(t.epoch))
 	t.spans = append(t.spans, c)
 	t.mu.Unlock()
+	return c
+}
+
+// ChildCat opens a sub-span with an explicit category instead of inheriting
+// the parent's. Cross-shard transport spans use CatCluster so the pipeline
+// hash can exclude them.
+func (s *Span) ChildCat(name, cat string) *Span {
+	c := s.Child(name)
+	if c != nil {
+		c.mu.Lock()
+		c.cat = cat
+		c.mu.Unlock()
+	}
 	return c
 }
 

@@ -175,6 +175,63 @@ func TestExportCanonicalAcrossCreationOrder(t *testing.T) {
 	}
 }
 
+func TestChildCatAndPipelineHash(t *testing.T) {
+	build := func(withPeer bool) *Doc {
+		tr := New(DeriveID("k"), "request", "serve")
+		root := tr.Root()
+		root.Attr("route", "/v1/evaluate")
+		c := root.Child("compute")
+		c.Attr("state", "miss")
+		c.End()
+		if withPeer {
+			p := root.ChildCat("peer", CatCluster)
+			p.Attr("owner", "s1")
+			p.End()
+		}
+		root.End()
+		return tr.Export()
+	}
+	plain := build(false)
+	peered := build(true)
+	if plain.PipelineHash == "" || peered.PipelineHash == "" {
+		t.Fatalf("pipeline hash not set: %q / %q", plain.PipelineHash, peered.PipelineHash)
+	}
+	if plain.PipelineHash != plain.TreeHash {
+		t.Errorf("without cluster spans PipelineHash %s != TreeHash %s", plain.PipelineHash, plain.TreeHash)
+	}
+	if peered.TreeHash == plain.TreeHash {
+		t.Errorf("peer span did not change the tree hash")
+	}
+	if peered.PipelineHash != plain.PipelineHash {
+		t.Errorf("pipeline hash differs with a cluster span present: %s vs %s", peered.PipelineHash, plain.PipelineHash)
+	}
+	var peerSpan *SpanDoc
+	for i := range peered.Spans {
+		if peered.Spans[i].Name == "peer" {
+			peerSpan = &peered.Spans[i]
+		}
+	}
+	if peerSpan == nil || peerSpan.Cat != CatCluster {
+		t.Fatalf("peer span cat = %+v, want %q", peerSpan, CatCluster)
+	}
+
+	// Rehash recomputes both hashes after span surgery.
+	doc := build(true)
+	kept := doc.Spans[:0]
+	for _, s := range doc.Spans {
+		if s.Cat != CatCluster {
+			kept = append(kept, s)
+		}
+	}
+	doc.Spans = kept
+	doc.Rehash()
+	if doc.TreeHash != plain.TreeHash || doc.PipelineHash != plain.PipelineHash {
+		t.Errorf("Rehash after dropping cluster spans: tree %s pipeline %s, want %s", doc.TreeHash, doc.PipelineHash, plain.TreeHash)
+	}
+	var nilDoc *Doc
+	nilDoc.Rehash() // must not panic
+}
+
 func TestParseDoc(t *testing.T) {
 	d := buildSample(false)
 	b, err := json.Marshal(d)
